@@ -1,0 +1,31 @@
+# Convenience targets for the supernodal-APSP reproduction.
+
+PYTHON ?= python
+SIZE   ?= 0.5
+
+.PHONY: install test bench experiments examples clean all
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	REPRO_SIZE_FACTOR=$(SIZE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper table/figure; tables land in results/.
+experiments:
+	$(PYTHON) -m repro experiment all --size-factor $(SIZE) --save
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "== $$ex =="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+clean:
+	rm -rf results .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+
+all: install test bench experiments

@@ -1,0 +1,35 @@
+"""Ablation bench: ordering choice through the supernodal pipeline (§5.2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.superfw import plan_superfw, superfw
+from repro.experiments.ablation import run_ordering_ablation
+from repro.graphs.suite import get_entry
+
+
+def test_ordering_ablation_table(benchmark, bench_size_factor, bench_seed):
+    from repro.experiments.common import format_table, save_table
+
+    rows = benchmark.pedantic(
+        lambda: run_ordering_ablation(size_factor=bench_size_factor, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_ordering", format_table(rows))
+    by = {r["graph"]: r for r in rows}
+    # On meshes ND must beat BFS in operations; on expanders neither helps.
+    assert by["delaunay_n14"]["nd_ops"] < by["delaunay_n14"]["bfs_ops"]
+    assert by["EB_16384_64"]["nd_ops"] > 0.3 * by["EB_16384_64"]["blocked_ops"]
+
+
+@pytest.fixture(scope="module")
+def mesh(bench_size_factor, bench_seed):
+    return get_entry("delaunay_n14").build(size_factor=bench_size_factor, seed=bench_seed)
+
+
+@pytest.mark.parametrize("ordering", ["nd", "bfs", "natural"])
+def test_superfw_per_ordering(benchmark, mesh, ordering, bench_seed):
+    plan = plan_superfw(mesh, ordering=ordering, seed=bench_seed)
+    benchmark.pedantic(lambda: superfw(mesh, plan=plan), rounds=2, iterations=1)

@@ -1,0 +1,32 @@
+"""Ablation bench: the W(n) = n^2 S(n) cost law (§4.1) on grid graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.superfw import superfw
+from repro.experiments.ablation import run_worklaw
+from repro.graphs.generators import grid2d
+
+
+def test_worklaw_fit(benchmark, bench_seed):
+    from repro.experiments.common import format_table, save_table
+
+    out = benchmark.pedantic(
+        lambda: run_worklaw(sides=[8, 12, 16, 24, 32], seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "ablation_worklaw",
+        format_table(out["rows"])
+        + f"\n\nfitted W ~ n^{out['fitted_exponent']:.3f} (model 2.5, dense 3.0)",
+    )
+    # Planar model predicts exponent 2.5; dense FW is exactly 3.0.
+    assert 1.8 < out["fitted_exponent"] < 2.9
+
+
+@pytest.mark.parametrize("side", [16, 24, 32])
+def test_superfw_grid_sweep(benchmark, side, bench_seed):
+    graph = grid2d(side, side, seed=bench_seed)
+    benchmark.pedantic(lambda: superfw(graph, seed=bench_seed), rounds=2, iterations=1)

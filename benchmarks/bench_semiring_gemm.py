@@ -1,0 +1,45 @@
+"""SemiringGemm kernel bench (paper §5.1.2 flop rates)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.gemm import run_gemm_rates
+from repro.semiring.minplus import minplus_gemm
+from repro.semiring.kernels import floyd_warshall_kernel
+
+
+def test_gemm_rate_table(benchmark):
+    from repro.experiments.common import format_table, save_table
+
+    rows = benchmark.pedantic(
+        lambda: run_gemm_rates(sizes=[32, 64, 128, 256], repeats=3),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("gemm_rates", format_table(rows, floatfmt="{:.4g}"))
+    assert rows[-1]["gops_per_s"] > rows[0]["gops_per_s"] * 0.5
+
+
+@pytest.mark.parametrize("size", [64, 128, 256])
+def test_minplus_gemm(benchmark, size):
+    rng = np.random.default_rng(0)
+    a = rng.uniform(size=(size, size))
+    b = rng.uniform(size=(size, size))
+    out = np.empty((size, size))
+    benchmark(lambda: minplus_gemm(a, b, out=out))
+
+
+@pytest.mark.parametrize("size", [64, 128])
+def test_diag_kernel(benchmark, size):
+    rng = np.random.default_rng(1)
+    base = rng.uniform(0.1, 1.0, size=(size, size))
+    np.fill_diagonal(base, 0.0)
+
+    def run():
+        block = base.copy()
+        floyd_warshall_kernel(block)
+        return block
+
+    benchmark(run)

@@ -1,0 +1,34 @@
+"""§5.2.1 prediction bench: the SuperFW gap must grow with n."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.superfw import superfw
+from repro.experiments.common import format_table, save_table
+from repro.experiments.size_sweep import run_size_sweep
+from repro.graphs.generators import delaunay_mesh
+
+
+def test_size_sweep(benchmark, bench_seed):
+    out = benchmark.pedantic(
+        lambda: run_size_sweep(sizes=[128, 256, 512, 1024], seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(
+        "size_sweep",
+        format_table(out["rows"])
+        + f"\n\nSuperFW gap growth {out['superfw_growth']:.2f}x, "
+        f"SuperBFS gap growth {out['superbfs_growth']:.2f}x",
+    )
+    # The asymptotic separation (paper §5.2.1): ND's advantage widens with
+    # n while BFS-supernodal's stays comparatively flat.
+    assert out["superfw_growth"] > 1.5
+    assert out["superfw_growth"] > out["superbfs_growth"]
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_superfw_at_size(benchmark, n, bench_seed):
+    graph = delaunay_mesh(n, seed=bench_seed)
+    benchmark.pedantic(lambda: superfw(graph, seed=bench_seed), rounds=2, iterations=1)

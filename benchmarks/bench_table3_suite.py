@@ -1,0 +1,48 @@
+"""Table 3 bench: suite statistics + ordering pipeline timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table3 import run_table3
+from repro.graphs.suite import get_entry
+from repro.ordering.nested_dissection import nested_dissection
+from repro.symbolic.fill import symbolic_cholesky
+from repro.symbolic.structure import build_structure
+
+
+def test_table3(benchmark, bench_size_factor, bench_seed):
+    from repro.experiments.common import format_table, save_table
+
+    rows = benchmark.pedantic(
+        lambda: run_table3(size_factor=bench_size_factor, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("table3_suite", format_table(rows))
+    by_name = {r["name"]: r for r in rows}
+    # Regime checks mirroring the paper's columns: planar/road classes keep
+    # big n/|S|; expanders collapse toward 1.
+    assert by_name["luxembourg_osm"]["n/|S|"] > by_name["EB_8192_256"]["n/|S|"]
+    assert by_name["delaunay_n14"]["n/|S|"] > 5
+    assert by_name["EB_8192_256"]["n/|S|"] < 5
+
+
+@pytest.fixture(scope="module")
+def road(bench_size_factor, bench_seed):
+    return get_entry("luxembourg_osm").build(
+        size_factor=bench_size_factor, seed=bench_seed
+    )
+
+
+def test_nested_dissection_speed(benchmark, road, bench_seed):
+    benchmark.pedantic(lambda: nested_dissection(road, seed=bench_seed), rounds=2, iterations=1)
+
+
+def test_symbolic_pipeline_speed(benchmark, road, bench_seed):
+    nd = nested_dissection(road, seed=bench_seed)
+    benchmark.pedantic(
+        lambda: build_structure(symbolic_cholesky(road, nd.perm)),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+``REPRO_SIZE_FACTOR`` (default 0.5) scales every suite graph; raise it on a
+faster machine to push the experiments toward the paper's regime.  Each
+bench module both (a) times a representative kernel/algorithm under
+pytest-benchmark and (b) prints the full paper-style table or series once
+per session via the :mod:`repro.experiments` runners.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def size_factor(default: float = 0.5) -> float:
+    return float(os.environ.get("REPRO_SIZE_FACTOR", default))
+
+
+@pytest.fixture(scope="session")
+def bench_size_factor() -> float:
+    return size_factor()
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_SEED", 0))

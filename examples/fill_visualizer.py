@@ -1,0 +1,57 @@
+"""Watch the distance matrix densify — the story of Figs. 1, 3 and 4.
+
+Run:  python examples/fill_visualizer.py
+
+Left to its own devices, Floyd-Warshall turns a sparse distance matrix
+dense within a few pivots (Fig. 1).  A nested-dissection ordering defers
+that densification: the matrix keeps the block-arrow shape (Fig. 4) and
+infinite entries survive until the final separator eliminations — exactly
+the slack SuperFW converts into skipped work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import generators, nested_dissection
+from repro.analysis.render import ascii_spy, densification_frames
+
+
+def main() -> None:
+    g = generators.grid2d(7, 7, seed=0)
+    n = g.n
+    rng = np.random.default_rng(1)
+    bad_perm = rng.permutation(n)
+    nd_perm = nested_dissection(g, leaf_size=6, seed=0).perm
+
+    print("=== adjacency pattern under the ND ordering (Fig. 4b) ===")
+    print(ascii_spy(g.permute(nd_perm).to_dense_dist(), max_size=n))
+
+    for label, perm in (("random ordering", bad_perm), ("nested dissection", nd_perm)):
+        dist = g.permute(perm).to_dense_dist()
+        frames = densification_frames(dist, [0, n // 4, n // 2, n])
+        print(f"\n=== densification under {label} ===")
+        for done, frac, _ in frames:
+            print(f"  after {done:3d} pivots: {frac * 100:5.1f}% finite")
+        print("pattern at the halfway point:")
+        print(frames[2][2])
+
+    # The punchline in numbers, on a bigger grid at the 3/4 mark — where
+    # the random ordering is nearly dense and ND is still mostly inf.
+    big = generators.grid2d(12, 12, seed=0)
+    m = big.n
+    frac_bad = densification_frames(
+        big.permute(np.random.default_rng(1).permutation(m)).to_dense_dist(),
+        [3 * m // 4],
+    )[0][1]
+    frac_nd = densification_frames(
+        big.permute(nested_dissection(big, seed=0).perm).to_dense_dist(),
+        [3 * m // 4],
+    )[0][1]
+    print(f"\n12x12 grid, 3/4 of the pivots done: random ordering "
+          f"{frac_bad * 100:.0f}% finite vs ND {frac_nd * 100:.0f}% — "
+          "the deferred fill is SuperFW's skipped work")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Beyond min-plus: the same machinery over other semirings.
+
+Run:  python examples/semiring_playground.py
+
+The paper frames Floyd-Warshall as matrix closure over the tropical
+semiring (§2.2).  Swapping the semiring gives different path problems for
+free: boolean (or, and) yields transitive closure / reachability, and
+(min, max) yields bottleneck (minimax) paths — e.g. the widest-pipe route
+in a network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dense_fw import floyd_warshall
+from repro.graphs.graph import Graph
+from repro.semiring import BOOLEAN, MIN_MAX, MIN_PLUS
+
+
+def reachability_demo() -> None:
+    print("=== Boolean semiring: transitive closure ===")
+    g = Graph.from_edges(
+        6, [(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]
+    )  # two islands + an isolated vertex
+    reach = np.zeros((6, 6))
+    rows = np.repeat(np.arange(6), np.diff(g.indptr))
+    reach[rows, g.indices] = 1.0
+    np.fill_diagonal(reach, 1.0)
+    closure = floyd_warshall(reach, semiring=BOOLEAN).dist
+    print("reachability matrix (1 = connected):")
+    print(closure.astype(int))
+    components = len({tuple(row) for row in closure.astype(int)})
+    print(f"distinct rows = {components} connected components")
+
+
+def bottleneck_demo() -> None:
+    print("\n=== (min, max) semiring: bottleneck paths ===")
+    # Pipes with capacities-as-costs: route 0->4 minimizing the widest
+    # constriction along the way.
+    g = Graph.from_edges(
+        5,
+        [
+            (0, 1, 4.0), (1, 4, 6.0),   # route A: worst pipe 6
+            (0, 2, 9.0), (2, 4, 2.0),   # route B: worst pipe 9
+            (0, 3, 5.0), (3, 4, 5.0),   # route C: worst pipe 5
+        ],
+    )
+    dist = g.to_dense_dist()
+    np.fill_diagonal(dist, MIN_MAX.one)
+    out = floyd_warshall(dist, semiring=MIN_MAX, check_negative_cycle=False).dist
+    print(f"minimax cost 0 -> 4: {out[0, 4]} (route via 3, worst edge 5)")
+    assert out[0, 4] == 5.0
+
+
+def tropical_demo() -> None:
+    print("\n=== Tropical semiring: plain shortest paths (for reference) ===")
+    g = Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)])
+    out = floyd_warshall(g, semiring=MIN_PLUS).dist
+    print(f"dist(0,3) = {out[0, 3]} (3-hop chain beats the direct 10.0 edge)")
+
+
+if __name__ == "__main__":
+    reachability_demo()
+    bottleneck_demo()
+    tropical_demo()

@@ -1,0 +1,55 @@
+"""repro — a supernodal all-pairs shortest path library.
+
+A faithful, from-scratch Python reproduction of
+
+    Piyush Sao, Ramakrishnan Kannan, Prasun Gera, Richard Vuduc.
+    "A Supernodal All-Pairs Shortest Path Algorithm." PPoPP 2020.
+
+Quickstart
+----------
+>>> from repro import generators, apsp
+>>> g = generators.grid2d(8, 8, seed=0)
+>>> result = apsp(g, method="superfw")
+>>> result.dist.shape
+(64, 64)
+
+Public surface
+--------------
+* :mod:`repro.core` — SuperFW and every baseline (``apsp`` front-end);
+* :mod:`repro.graphs` — CSR graphs, generators, the Table 3 suite;
+* :mod:`repro.ordering` — nested dissection, BFS/RCM, minimum degree;
+* :mod:`repro.symbolic` — etree, fill, supernodes;
+* :mod:`repro.semiring` — tropical algebra and blocked kernels;
+* :mod:`repro.parallel` — task DAGs and the work-depth scaling simulator;
+* :mod:`repro.experiments` — one runner per paper table/figure.
+"""
+
+from repro.core.api import apsp, available_methods
+from repro.core.incremental import IncrementalAPSP
+from repro.core.paths import PathOracle
+from repro.core.result import APSPResult
+from repro.core.superfw import SuperFWPlan, plan_superfw, superfw
+from repro.core.treewidth import TreewidthAPSP
+from repro.graphs import generators
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.ordering.nested_dissection import nested_dissection
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APSPResult",
+    "DiGraph",
+    "Graph",
+    "IncrementalAPSP",
+    "PathOracle",
+    "SuperFWPlan",
+    "TreewidthAPSP",
+    "apsp",
+    "available_methods",
+    "generators",
+    "nested_dissection",
+    "plan_superfw",
+    "superfw",
+    "__version__",
+]

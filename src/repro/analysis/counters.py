@@ -1,0 +1,44 @@
+"""Scalar semiring-operation counting.
+
+The asymptotic claims of the paper (§4, Table 2) are about *operation
+counts*, which are machine-independent: every kernel invocation reports its
+``2·m·n·k``-style cost into an :class:`OpCounter`.  The Table 2 and
+work-law benchmarks compare these counts against the analytic models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpCounter:
+    """Accumulates scalar semiring operations by kernel category.
+
+    Categories follow the paper's step names: ``diag``, ``panel``,
+    ``outer`` — plus free-form extras.
+    """
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def add(self, category: str, ops: int) -> None:
+        """Add ``ops`` scalar operations to ``category``."""
+        self.counts[category] = self.counts.get(category, 0) + int(ops)
+
+    @property
+    def total(self) -> int:
+        """Total scalar semiring operations across all categories."""
+        return sum(self.counts.values())
+
+    def merge(self, other: "OpCounter") -> None:
+        """Fold another counter's counts into this one."""
+        for key, val in other.counts.items():
+            self.add(key, val)
+
+    def reset(self) -> None:
+        """Zero all categories."""
+        self.counts.clear()
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v:.3g}" for k, v in sorted(self.counts.items()))
+        return f"OpCounter(total={self.total:.4g}, {inner})"

@@ -1,0 +1,75 @@
+"""Terminal rendering of sparsity patterns.
+
+The paper's Figs. 1, 3 and 4 tell their story through matrix pictures:
+the distance matrix densifying under Floyd-Warshall, and the block-arrow
+pattern a nested-dissection ordering induces.  These helpers reproduce
+those pictures as text so examples and docs can show them without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ascii_spy(
+    matrix: np.ndarray,
+    *,
+    max_size: int = 64,
+    filled: str = "#",
+    empty: str = ".",
+) -> str:
+    """Render the finite/nonzero pattern of a matrix as text.
+
+    Boolean and numeric matrices are accepted; for min-plus matrices the
+    "structural zeros" are the ``inf`` entries.  Matrices larger than
+    ``max_size`` are downsampled by block-ANY, so a pixel is set when any
+    covered entry is.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    if matrix.dtype == bool:
+        pattern = matrix
+    else:
+        pattern = np.isfinite(matrix) & (matrix != 0)
+        # Keep the explicit zero diagonal of distance matrices visible.
+        if matrix.shape[0] == matrix.shape[1]:
+            pattern |= np.isfinite(matrix) & np.eye(matrix.shape[0], dtype=bool)
+    rows, cols = pattern.shape
+    step = max(1, int(np.ceil(max(rows, cols) / max_size)))
+    if step > 1:
+        pad_r = (-rows) % step
+        pad_c = (-cols) % step
+        padded = np.zeros((rows + pad_r, cols + pad_c), dtype=bool)
+        padded[:rows, :cols] = pattern
+        pattern = padded.reshape(
+            padded.shape[0] // step, step, padded.shape[1] // step, step
+        ).any(axis=(1, 3))
+    lines = [
+        "".join(filled if cell else empty for cell in row) for row in pattern
+    ]
+    return "\n".join(lines)
+
+
+def densification_frames(
+    dist: np.ndarray, pivots: list[int]
+) -> list[tuple[int, float, str]]:
+    """Fig. 1-style snapshots of FW densification.
+
+    Runs Floyd-Warshall pivots in order on a copy of ``dist`` and records
+    ``(pivots done, finite fraction, spy)`` after each requested count.
+    """
+    work = np.array(dist, dtype=np.float64, copy=True)
+    frames: list[tuple[int, float, str]] = []
+    total = work.size
+    done = 0
+    for target in sorted(pivots):
+        while done < target and done < work.shape[0]:
+            k = done
+            np.minimum(work, work[:, k : k + 1] + work[k, :], out=work)
+            done += 1
+        frames.append(
+            (done, float(np.isfinite(work).sum()) / total, ascii_spy(work))
+        )
+    return frames

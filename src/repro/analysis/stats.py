@@ -1,0 +1,50 @@
+"""Structural statistics: fill, separators, and Table 3 rows."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.ordering.nested_dissection import NDResult, nested_dissection
+from repro.symbolic.fill import symbolic_cholesky
+
+
+def fill_statistics(graph: Graph, perm: np.ndarray) -> dict:
+    """Fill-in of ``graph`` under ``perm`` (factor nnz, fill ratio)."""
+    sym = symbolic_cholesky(graph, perm)
+    lower_nnz = graph.nnz // 2
+    return {
+        "nnz_factor": sym.nnz_factor,
+        "fill_in": sym.fill_in,
+        "fill_ratio": sym.nnz_factor / max(lower_nnz, 1),
+        "max_col_count": int(sym.col_counts.max()) if sym.n else 0,
+    }
+
+
+def ordering_quality(graph: Graph, *, seed: int = 0) -> dict:
+    """Compare fill across the library's orderings on one graph."""
+    from repro.ordering.amd import minimum_degree_ordering
+    from repro.ordering.bfs import bfs_ordering, rcm_ordering
+
+    nd = nested_dissection(graph, seed=seed)
+    out = {
+        "nd": fill_statistics(graph, nd.perm),
+        "bfs": fill_statistics(graph, bfs_ordering(graph).perm),
+        "rcm": fill_statistics(graph, rcm_ordering(graph).perm),
+        "mmd": fill_statistics(graph, minimum_degree_ordering(graph).perm),
+        "natural": fill_statistics(graph, np.arange(graph.n)),
+    }
+    out["top_separator"] = nd.top_separator_size
+    return out
+
+
+def suite_row(name: str, graph: Graph, nd: NDResult) -> dict:
+    """One measured row of the Table 3 reproduction."""
+    top = max(nd.top_separator_size, 1)
+    return {
+        "name": name,
+        "n": graph.n,
+        "nnz_over_n": graph.density,
+        "top_separator": top,
+        "n_over_s": graph.n / top,
+    }

@@ -1,0 +1,238 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro solve mygraph.mtx --method superfw --out dist.npy
+    python -m repro solve --generate grid2d:24 --method dijkstra
+    python -m repro info mygraph.mtx
+    python -m repro experiment fig6a --size-factor 0.4
+    python -m repro bench-gemm --sizes 64,128,256
+
+``--generate`` accepts ``name:arg1,arg2`` specs against
+:mod:`repro.graphs.generators` (``grid2d:16``, ``delaunay_mesh:500``,
+``barabasi_albert:300,4``, ...).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _load_graph(args):
+    from repro.graphs import generators
+    from repro.graphs.io import read_matrix_market
+
+    directed = getattr(args, "directed", False)
+    if args.generate:
+        spec = args.generate
+        name, _, argstr = spec.partition(":")
+        builder = getattr(generators, name, None)
+        if builder is None:
+            raise SystemExit(f"unknown generator {name!r}")
+        gen_args = [int(float(tok)) for tok in argstr.split(",") if tok] if argstr else []
+        graph = builder(*gen_args, seed=args.seed)
+        if directed:
+            from repro.graphs.digraph import orient_randomly
+
+            graph = orient_randomly(graph, seed=args.seed)
+        return graph
+    if not args.graph:
+        raise SystemExit("provide a Matrix-Market file or --generate SPEC")
+    return read_matrix_market(args.graph, directed=directed)
+
+
+def _cmd_solve(args) -> int:
+    from repro.core.api import apsp
+
+    graph = _load_graph(args)
+    options = {}
+    if args.method in ("superfw", "superbfs", "parallel-superfw"):
+        options["seed"] = args.seed
+    result = apsp(graph, method=args.method, **options)
+    finite = np.isfinite(result.dist)
+    offdiag = finite & ~np.eye(graph.n, dtype=bool)
+    print(f"method: {result.method}")
+    print(f"graph: n={graph.n}, stored arcs={graph.nnz}")
+    print(f"solve time: {result.solve_seconds() * 1e3:.1f} ms")
+    if result.ops.total:
+        print(f"semiring ops: {result.ops.total:.4g}")
+    if offdiag.any():
+        print(f"reachable pairs: {int(offdiag.sum())}")
+        print(f"mean distance: {result.dist[offdiag].mean():.6g}")
+        print(f"diameter: {result.dist[offdiag].max():.6g}")
+    if args.out:
+        np.save(args.out, result.dist)
+        print(f"distance matrix written to {args.out}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.core.treewidth import TreewidthAPSP
+
+    graph = _load_graph(args)
+    pairs = []
+    for spec in args.pairs:
+        try:
+            a, b = (int(tok) for tok in spec.split(":"))
+        except ValueError:
+            raise SystemExit(f"bad pair {spec!r}; expected SRC:DST") from None
+        if not (0 <= a < graph.n and 0 <= b < graph.n):
+            raise SystemExit(f"pair {spec!r} out of range 0..{graph.n - 1}")
+        pairs.append((a, b))
+    solver = TreewidthAPSP(graph, seed=args.seed)
+    print(f"factorized in {solver.timings.total * 1e3:.1f} ms "
+          f"(width {solver.width})")
+    for a, b in pairs:
+        print(f"dist({a}, {b}) = {solver.query(a, b):.6g}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.analysis.stats import fill_statistics
+    from repro.ordering.nested_dissection import nested_dissection
+
+    graph = _load_graph(args)
+    print(f"n = {graph.n}")
+    print(f"edges = {graph.num_edges}")
+    print(f"nnz/n = {graph.density:.3f}")
+    nd = nested_dissection(graph, seed=args.seed)
+    print(f"top separator |S| = {nd.top_separator_size}")
+    print(f"n/|S| = {graph.n / max(nd.top_separator_size, 1):.1f}")
+    stats = fill_statistics(graph, nd.perm)
+    print(f"factor nnz (ND) = {stats['nnz_factor']}")
+    print(f"fill ratio = {stats['fill_ratio']:.2f}")
+    est = 2.0 * graph.n**2 * nd.top_separator_size
+    print(f"estimated SuperFW work = {est:.3g} ops "
+          f"(dense FW: {2.0 * graph.n**3:.3g})")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import contextlib
+    import io as _io
+
+    from repro import experiments
+    from repro.experiments.common import save_table
+
+    runners = {
+        "fig6a": lambda: experiments.run_fig6a(size_factor=args.size_factor, seed=args.seed),
+        "fig6b": lambda: experiments.run_fig6b(size_factor=args.size_factor, seed=args.seed),
+        "fig7": lambda: experiments.run_fig7(size_factor=args.size_factor, seed=args.seed),
+        "fig8": lambda: experiments.run_fig8(size_factor=args.size_factor, seed=args.seed),
+        "table2": lambda: experiments.run_table2(seed=args.seed),
+        "table3": lambda: experiments.run_table3(size_factor=args.size_factor, seed=args.seed),
+        "preprocessing": lambda: experiments.run_preprocessing(size_factor=args.size_factor, seed=args.seed),
+        "ablation-ordering": lambda: experiments.run_ordering_ablation(size_factor=args.size_factor, seed=args.seed),
+        "worklaw": lambda: experiments.run_worklaw(seed=args.seed),
+        "gemm": lambda: experiments.run_gemm_rates(),
+        "hierarchy": lambda: experiments.run_hierarchy(
+            size_factor=args.size_factor, seed=args.seed
+        ),
+        "size-sweep": lambda: experiments.run_size_sweep(seed=args.seed),
+    }
+    def run_one(name: str) -> None:
+        if not args.save:
+            runners[name]()
+            return
+        # Capture the printed table(s) and persist under results/.
+        buf = _io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            runners[name]()
+        text = buf.getvalue()
+        print(text, end="")
+        path = save_table(f"cli_{name}", text.strip())
+        print(f"[saved to {path}]")
+
+    if args.name == "all":
+        for name in runners:
+            run_one(name)
+        return 0
+    if args.name not in runners:
+        raise SystemExit(
+            f"unknown experiment {args.name!r}; choose from "
+            f"{sorted(runners)} or 'all'"
+        )
+    run_one(args.name)
+    return 0
+
+
+def _cmd_bench_gemm(args) -> int:
+    from repro.experiments.gemm import run_gemm_rates
+
+    sizes = [int(tok) for tok in args.sizes.split(",") if tok]
+    run_gemm_rates(sizes=sizes)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Supernodal all-pairs shortest paths (PPoPP'20 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_args(p):
+        p.add_argument("graph", nargs="?", help="Matrix-Market file")
+        p.add_argument(
+            "--generate",
+            metavar="SPEC",
+            help="generator spec like grid2d:16 or barabasi_albert:300,4",
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--directed",
+            action="store_true",
+            help="read the file as arcs / randomly orient the generated graph",
+        )
+
+    solve = sub.add_parser("solve", help="compute APSP on a graph")
+    add_graph_args(solve)
+    solve.add_argument("--method", default="superfw")
+    solve.add_argument("--out", help="write the distance matrix (.npy)")
+    solve.set_defaults(func=_cmd_solve)
+
+    info = sub.add_parser("info", help="structural statistics of a graph")
+    add_graph_args(info)
+    info.set_defaults(func=_cmd_info)
+
+    query = sub.add_parser(
+        "query", help="point-to-point distances without the full matrix"
+    )
+    # Pairs are positional here, so the graph must come via flags to keep
+    # argparse unambiguous.
+    query.add_argument(
+        "pairs", nargs="+", metavar="SRC:DST", help="vertex pairs like 0:99"
+    )
+    query.add_argument("--graph", help="Matrix-Market file")
+    query.add_argument("--generate", metavar="SPEC")
+    query.add_argument("--seed", type=int, default=0)
+    query.set_defaults(func=_cmd_query)
+
+    exp = sub.add_parser("experiment", help="run a paper table/figure")
+    exp.add_argument("name", help="fig6a|fig6b|fig7|fig8|table2|table3|... or 'all'")
+    exp.add_argument("--size-factor", type=float, default=0.5)
+    exp.add_argument("--seed", type=int, default=0)
+    exp.add_argument(
+        "--save", action="store_true", help="also write the tables to results/"
+    )
+    exp.set_defaults(func=_cmd_experiment)
+
+    gemm = sub.add_parser("bench-gemm", help="min-plus kernel rates")
+    gemm.add_argument("--sizes", default="32,64,128,256")
+    gemm.set_defaults(func=_cmd_bench_gemm)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Unified APSP front-end.
+
+``apsp(graph, method=...)`` dispatches to every algorithm in the library
+with consistent validation and a consistent :class:`~repro.core.result.APSPResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.result import APSPResult
+from repro.graphs.graph import Graph
+from repro.graphs.validation import validate_weights
+
+
+def _superfw(graph: Graph, **kw) -> APSPResult:
+    from repro.core.superfw import superfw
+
+    return superfw(graph, **kw)
+
+
+def _superbfs(graph: Graph, **kw) -> APSPResult:
+    from repro.core.superfw import superfw
+
+    kw.setdefault("ordering", "bfs")
+    return superfw(graph, **kw)
+
+
+def _parallel_superfw(graph: Graph, **kw) -> APSPResult:
+    from repro.core.parallel_superfw import parallel_superfw
+
+    return parallel_superfw(graph, **kw)
+
+
+def _dense(graph: Graph, **kw) -> APSPResult:
+    from repro.core.dense_fw import floyd_warshall
+
+    return floyd_warshall(graph, **kw)
+
+
+def _blocked(graph: Graph, **kw) -> APSPResult:
+    from repro.core.blocked_fw import blocked_floyd_warshall
+
+    return blocked_floyd_warshall(graph, **kw)
+
+
+def _dijkstra(graph: Graph, **kw) -> APSPResult:
+    from repro.core.dijkstra import apsp_dijkstra
+
+    return apsp_dijkstra(graph, **kw)
+
+
+def _boost(graph: Graph, **kw) -> APSPResult:
+    from repro.core.dijkstra import apsp_dijkstra_adjlist
+
+    return apsp_dijkstra_adjlist(graph, **kw)
+
+
+def _delta(graph: Graph, **kw) -> APSPResult:
+    from repro.core.delta_stepping import apsp_delta_stepping
+
+    return apsp_delta_stepping(graph, **kw)
+
+
+def _johnson(graph: Graph, **kw) -> APSPResult:
+    from repro.core.johnson import johnson_apsp
+
+    return johnson_apsp(graph, **kw)
+
+
+def _path_doubling(graph: Graph, **kw) -> APSPResult:
+    from repro.core.path_doubling import path_doubling
+
+    return path_doubling(graph, **kw)
+
+
+def _treewidth(graph: Graph, **kw) -> APSPResult:
+    from repro.core.treewidth import TreewidthAPSP
+    from repro.util.timing import Timer
+
+    solver = TreewidthAPSP(graph, **kw)
+    timings = solver.timings
+    with Timer() as t:
+        dist = solver.all_pairs()
+    timings.add("solve", t.elapsed)
+    return APSPResult(
+        dist=dist,
+        method="treewidth",
+        timings=timings,
+        meta={"solver": solver, "width": solver.width},
+    )
+
+
+_METHODS: dict[str, Callable[..., APSPResult]] = {
+    "superfw": _superfw,
+    "superbfs": _superbfs,
+    "parallel-superfw": _parallel_superfw,
+    "dense-fw": _dense,
+    "blocked-fw": _blocked,
+    "dijkstra": _dijkstra,
+    "boost-dijkstra": _boost,
+    "delta-stepping": _delta,
+    "johnson": _johnson,
+    "path-doubling": _path_doubling,
+    "treewidth": _treewidth,
+}
+
+
+def available_methods() -> list[str]:
+    """Names accepted by :func:`apsp`."""
+    return sorted(_METHODS)
+
+
+def apsp(graph: Graph, method: str = "superfw", **options) -> APSPResult:
+    """Compute all-pairs shortest paths.
+
+    Parameters
+    ----------
+    graph:
+        Undirected :class:`~repro.graphs.graph.Graph` or directed
+        :class:`~repro.graphs.digraph.DiGraph`.
+    method:
+        One of :func:`available_methods`; defaults to the paper's
+        supernodal Floyd-Warshall.
+    options:
+        Forwarded to the selected backend (e.g. ``leaf_size=...`` for
+        SuperFW planning, ``delta=...`` for Δ-stepping,
+        ``num_threads=...`` for the parallel variant).
+
+    Returns
+    -------
+    APSPResult
+        Distances in the original numbering plus timings/op counts.
+    """
+    try:
+        backend = _METHODS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; choose from {available_methods()}"
+        ) from None
+    from repro.graphs.digraph import DiGraph
+
+    if not isinstance(graph, (Graph, DiGraph)) and hasattr(graph, "tocoo"):
+        # Accept scipy sparse matrices directly (symmetrized by min).
+        graph = Graph.from_scipy(graph)
+    validate_weights(graph)
+    return backend(graph, **options)

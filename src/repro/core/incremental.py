@@ -1,0 +1,127 @@
+"""Incremental APSP maintenance under edge insertions / weight decreases.
+
+The paper's related-work section (§6) points at Carré's algebraic account
+of graph updates via the Sherman-Morrison-Woodbury identity: a rank-1
+change to the weight matrix induces a closed-form update of its closure.
+In min-plus terms, improving arc ``u → v`` to weight ``w`` updates every
+pair by the best path routed through the new arc:
+
+    Dist[i, j] ← Dist[i, j] ⊕ Dist[i, u] ⊗ w ⊗ Dist[v, j]
+
+— an ``O(n²)`` rank-1 outer product instead of an ``O(n² |S|)`` re-solve.
+Weight *increases* can invalidate arbitrarily many pairs and fall back to
+a recompute (the classical asymmetry of dynamic shortest paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+
+def apply_edge_improvement(
+    dist: np.ndarray,
+    u: int,
+    v: int,
+    w: float,
+    *,
+    directed: bool = False,
+    atol: float = 1e-12,
+) -> int:
+    """Fold an improved arc ``u→v`` (and ``v→u`` when undirected) into ``dist``.
+
+    Mutates ``dist`` in place; returns the number of pairs improved by more
+    than ``atol`` (sub-``atol`` wiggles are floating-point re-association
+    noise, not path changes — the matrix itself still takes the exact
+    minimum).  ``dist`` must be a valid APSP matrix of the graph *before*
+    the change, and ``w`` must not create a negative cycle.
+    """
+    n = dist.shape[0]
+    if dist.shape != (n, n):
+        raise ValueError("dist must be square")
+    if not (0 <= u < n and 0 <= v < n) or u == v:
+        raise ValueError("invalid edge endpoints")
+    improved = 0
+    for a, b in ((u, v),) if directed else ((u, v), (v, u)):
+        through = dist[:, a : a + 1] + (w + dist[b, :])
+        better = through < dist - atol
+        improved += int(np.count_nonzero(better))
+        np.minimum(dist, through, out=dist)
+    return improved
+
+
+class IncrementalAPSP:
+    """Maintains an APSP matrix across edge updates.
+
+    Improvements (new edges, weight decreases) apply in ``O(n²)``;
+    degradations trigger a full SuperFW recompute.  The running graph and
+    matrix stay consistent after every call.
+
+    Parameters
+    ----------
+    graph:
+        Starting graph (undirected or directed).
+    dist:
+        Optional precomputed APSP matrix; solved with SuperFW otherwise.
+    """
+
+    def __init__(self, graph: Graph | DiGraph, dist: np.ndarray | None = None, *, seed: int = 0) -> None:
+        self.graph = graph
+        self.directed = isinstance(graph, DiGraph)
+        self.seed = seed
+        self.recomputes = 0
+        self.fast_updates = 0
+        if dist is None:
+            dist = self._solve(graph)
+        elif dist.shape != (graph.n, graph.n):
+            raise ValueError("dist shape does not match graph")
+        else:
+            dist = np.array(dist, dtype=np.float64, copy=True)
+        self.dist = dist
+
+    def _solve(self, graph) -> np.ndarray:
+        from repro.core.superfw import superfw
+
+        self.recomputes += 1
+        return superfw(graph, seed=self.seed).dist
+
+    def _current_weight(self, u: int, v: int) -> float:
+        neigh = self.graph.neighbors(u)
+        pos = np.flatnonzero(neigh == v)
+        return float(self.graph.neighbor_weights(u)[pos[0]]) if pos.size else np.inf
+
+    def _rebuild_graph(self, u: int, v: int, w: float):
+        if self.directed:
+            arcs = self.graph.arc_array()
+            keep = ~((arcs[:, 0] == u) & (arcs[:, 1] == v))
+            arcs = np.vstack([arcs[keep], [u, v, w]])
+            return DiGraph.from_edges(self.graph.n, arcs)
+        edges = self.graph.edge_array()
+        a, b = min(u, v), max(u, v)
+        keep = ~((edges[:, 0] == a) & (edges[:, 1] == b))
+        edges = np.vstack([edges[keep], [a, b, w]])
+        return Graph.from_edges(self.graph.n, edges)
+
+    def update_edge(self, u: int, v: int, w: float) -> int:
+        """Set arc/edge ``(u, v)`` to weight ``w``; returns pairs improved.
+
+        Decreases (including brand-new edges) use the rank-1 fast path;
+        increases recompute from scratch (returns ``-1`` to signal it).
+        """
+        if w < 0 and not self.directed:
+            raise ValueError("negative undirected edges form negative 2-cycles")
+        old = self._current_weight(u, v)
+        self.graph = self._rebuild_graph(u, v, w)
+        if w <= old:
+            self.fast_updates += 1
+            return apply_edge_improvement(
+                self.dist, u, v, w, directed=self.directed
+            )
+        self.dist = self._solve(self.graph)
+        return -1
+
+    def distance(self, i: int, j: int) -> float:
+        """Current shortest distance between ``i`` and ``j``."""
+        return float(self.dist[i, j])

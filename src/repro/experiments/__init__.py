@@ -1,0 +1,36 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Each ``run_*`` function regenerates the corresponding result — same rows,
+same normalization, same competitor set — at a scale the pure-Python
+kernels can sustain, and returns the data it printed so benchmarks and
+tests can assert on it.  See EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from repro.experiments.common import format_table, geomean
+from repro.experiments.fig6 import run_fig6a, run_fig6b
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.gemm import run_gemm_rates
+from repro.experiments.hierarchy import run_hierarchy
+from repro.experiments.preprocessing import run_preprocessing
+from repro.experiments.size_sweep import run_size_sweep
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.ablation import run_ordering_ablation, run_worklaw
+
+__all__ = [
+    "format_table",
+    "geomean",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig7",
+    "run_fig8",
+    "run_gemm_rates",
+    "run_hierarchy",
+    "run_ordering_ablation",
+    "run_preprocessing",
+    "run_size_sweep",
+    "run_table2",
+    "run_table3",
+    "run_worklaw",
+]

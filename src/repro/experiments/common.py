@@ -1,0 +1,60 @@
+"""Shared formatting helpers for the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import numpy as np
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (ignores non-positive entries)."""
+    arr = np.asarray([v for v in values if v > 0], dtype=np.float64)
+    return float(np.exp(np.log(arr).mean())) if arr.size else float("nan")
+
+
+def format_table(rows: list[dict[str, Any]], *, floatfmt: str = "{:.3g}") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(rows[0].keys())
+    rendered: list[list[str]] = [cols]
+    for row in rows:
+        line = []
+        for c in cols:
+            v = row.get(c, "")
+            if isinstance(v, float):
+                line.append(floatfmt.format(v))
+            else:
+                line.append(str(v))
+        rendered.append(line)
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(cols))]
+    out_lines = []
+    for i, line in enumerate(rendered):
+        out_lines.append("  ".join(s.ljust(w) for s, w in zip(line, widths)))
+        if i == 0:
+            out_lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(out_lines)
+
+
+def print_header(title: str) -> None:
+    """Stand-out section header used by every runner."""
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}")
+
+
+def save_table(name: str, text: str) -> str:
+    """Persist a rendered experiment table under ``results/``.
+
+    The directory is controlled by ``REPRO_RESULTS_DIR`` (default
+    ``./results``); returns the file path.  Benchmarks call this so the
+    paper-style tables survive pytest's stdout capture.
+    """
+    import os
+    from pathlib import Path
+
+    outdir = Path(os.environ.get("REPRO_RESULTS_DIR", "results"))
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / f"{name}.txt"
+    path.write_text(text + "\n")
+    return str(path)

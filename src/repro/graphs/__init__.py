@@ -1,0 +1,65 @@
+"""Graph substrate: CSR graphs, generators, I/O, and the test suite."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.digraph import DiGraph, orient_randomly
+from repro.graphs.components import connected_components, is_connected
+from repro.graphs.generators import (
+    barabasi_albert,
+    delaunay_mesh,
+    erdos_renyi,
+    grid2d,
+    grid3d,
+    hypercube,
+    power_grid_like,
+    random_geometric,
+    road_network_like,
+    watts_strogatz,
+)
+from repro.graphs.io import (
+    load_distances,
+    read_matrix_market,
+    save_distances,
+    write_matrix_market,
+)
+from repro.graphs.suite import (
+    SuiteEntry,
+    build_suite,
+    large_suite,
+    small_suite,
+    suite_names,
+)
+from repro.graphs.validation import (
+    check_apsp_certificate,
+    has_negative_cycle,
+    validate_weights,
+)
+
+__all__ = [
+    "DiGraph",
+    "Graph",
+    "SuiteEntry",
+    "barabasi_albert",
+    "build_suite",
+    "check_apsp_certificate",
+    "connected_components",
+    "delaunay_mesh",
+    "erdos_renyi",
+    "grid2d",
+    "grid3d",
+    "has_negative_cycle",
+    "hypercube",
+    "is_connected",
+    "large_suite",
+    "load_distances",
+    "orient_randomly",
+    "power_grid_like",
+    "save_distances",
+    "random_geometric",
+    "read_matrix_market",
+    "road_network_like",
+    "small_suite",
+    "suite_names",
+    "validate_weights",
+    "watts_strogatz",
+    "write_matrix_market",
+]

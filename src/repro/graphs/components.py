@@ -1,0 +1,60 @@
+"""Connected components via frontier-expansion BFS on CSR arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def _bfs_fill(graph: Graph, start: int, labels: np.ndarray, label: int) -> int:
+    """Label the component containing ``start``; return its size."""
+    frontier = np.array([start], dtype=np.int64)
+    labels[start] = label
+    size = 1
+    indptr, indices = graph.indptr, graph.indices
+    while frontier.size:
+        # Gather all neighbors of the frontier in one vectorized sweep.
+        starts = indptr[frontier]
+        counts = indptr[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            break
+        within = np.arange(total) - np.repeat(np.cumsum(counts) - counts, counts)
+        offsets = np.repeat(starts, counts) + within
+        neigh = indices[offsets]
+        fresh = neigh[labels[neigh] < 0]
+        if fresh.size:
+            fresh = np.unique(fresh)
+            labels[fresh] = label
+            size += fresh.size
+        frontier = fresh
+    return size
+
+
+def connected_components(graph: Graph) -> tuple[int, np.ndarray]:
+    """Return ``(count, labels)`` with ``labels[v]`` in ``0..count-1``."""
+    labels = np.full(graph.n, -1, dtype=np.int64)
+    count = 0
+    for v in range(graph.n):
+        if labels[v] < 0:
+            _bfs_fill(graph, v, labels, count)
+            count += 1
+    return count, labels
+
+
+def is_connected(graph: Graph) -> bool:
+    """True when the graph has a single connected component."""
+    if graph.n == 0:
+        return True
+    labels = np.full(graph.n, -1, dtype=np.int64)
+    return _bfs_fill(graph, 0, labels, 0) == graph.n
+
+
+def largest_component(graph: Graph) -> np.ndarray:
+    """Vertex indices of the largest connected component (sorted)."""
+    count, labels = connected_components(graph)
+    if count <= 1:
+        return np.arange(graph.n, dtype=np.int64)
+    sizes = np.bincount(labels, minlength=count)
+    return np.flatnonzero(labels == sizes.argmax()).astype(np.int64)

@@ -1,0 +1,298 @@
+"""Synthetic graph generators.
+
+These stand in for the paper's SuiteSparse / DIMACS10 / SNAP inputs
+(Table 3): meshes and geometric graphs have the small separators SuperFW
+exploits, Barabási–Albert graphs are the adversarial expander-like class,
+and road/power-grid generators mimic the infrastructure networks.
+
+All generators return a connected :class:`~repro.graphs.graph.Graph` with
+positive edge weights and are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.components import connected_components
+from repro.graphs.graph import Graph
+
+
+def _rng(seed) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _random_weights(count: int, rng: np.random.Generator, low=0.1, high=1.0) -> np.ndarray:
+    return rng.uniform(low, high, size=count)
+
+
+def _finish(
+    n: int,
+    uv: np.ndarray,
+    rng: np.random.Generator,
+    weights: np.ndarray | None = None,
+) -> Graph:
+    """Attach weights, build the graph, and stitch components together."""
+    uv = np.asarray(uv, dtype=np.int64).reshape(-1, 2)
+    if weights is None:
+        weights = _random_weights(uv.shape[0], rng)
+    graph = Graph.from_edges(n, np.column_stack([uv, weights]))
+    count, labels = connected_components(graph)
+    if count > 1:
+        # Bridge component representatives in a chain so every generator
+        # yields a connected graph (the paper assumes one component, §2).
+        reps = np.array(
+            [np.flatnonzero(labels == c)[0] for c in range(count)],
+            dtype=np.int64,
+        )
+        bridges = np.column_stack([reps[:-1], reps[1:]])
+        uv = np.vstack([uv, bridges])
+        weights = np.concatenate(
+            [weights, _random_weights(bridges.shape[0], rng)]
+        )
+        graph = Graph.from_edges(n, np.column_stack([uv, weights]))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Mesh-like graphs (small separators: S(n) = O(n^{1-1/d}))
+# ----------------------------------------------------------------------
+def grid2d(nx: int, ny: int | None = None, *, periodic: bool = False, seed=0) -> Graph:
+    """2-D grid (optionally a torus) with random weights.
+
+    A planar graph with an ``O(sqrt(n))`` separator — the paper's
+    best-case class (§4.3).
+    """
+    ny = nx if ny is None else ny
+    rng = _rng(seed)
+    idx = np.arange(nx * ny).reshape(nx, ny)
+    horiz = np.column_stack([idx[:, :-1].ravel(), idx[:, 1:].ravel()])
+    vert = np.column_stack([idx[:-1, :].ravel(), idx[1:, :].ravel()])
+    edges = [horiz, vert]
+    if periodic and ny > 2:
+        edges.append(np.column_stack([idx[:, -1].ravel(), idx[:, 0].ravel()]))
+    if periodic and nx > 2:
+        edges.append(np.column_stack([idx[-1, :].ravel(), idx[0, :].ravel()]))
+    return _finish(nx * ny, np.vstack(edges), rng)
+
+
+def grid3d(nx: int, ny: int | None = None, nz: int | None = None, *, seed=0) -> Graph:
+    """3-D grid: separator ``O(n^{2/3})``, the *nd6k*-like mesh class."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    rng = _rng(seed)
+    idx = np.arange(nx * ny * nz).reshape(nx, ny, nz)
+    e0 = np.column_stack([idx[:-1, :, :].ravel(), idx[1:, :, :].ravel()])
+    e1 = np.column_stack([idx[:, :-1, :].ravel(), idx[:, 1:, :].ravel()])
+    e2 = np.column_stack([idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel()])
+    return _finish(nx * ny * nz, np.vstack([e0, e1, e2]), rng)
+
+
+def hypercube(dim: int, *, seed=0) -> Graph:
+    """The ``2^dim``-vertex hypercube — separator ``Θ(n/sqrt(log n))``.
+
+    Reordering cannot reduce its asymptotic cost, but the supernodal data
+    structure still pays off (paper §5.2.1, *hypercube_14*).
+    """
+    rng = _rng(seed)
+    n = 1 << dim
+    vertices = np.arange(n)
+    pairs = [
+        np.column_stack([vertices, vertices ^ (1 << b)]) for b in range(dim)
+    ]
+    uv = np.vstack(pairs)
+    uv = uv[uv[:, 0] < uv[:, 1]]
+    return _finish(n, uv, rng)
+
+
+def delaunay_mesh(n: int, *, dim: int = 2, seed=0) -> Graph:
+    """Delaunay triangulation of random points (DIMACS10 *delaunay_nXX*).
+
+    Weights are Euclidean edge lengths, making it a realistic planar
+    proximity network.
+    """
+    from scipy.spatial import Delaunay
+
+    rng = _rng(seed)
+    points = rng.uniform(size=(n, dim))
+    tri = Delaunay(points)
+    simplices = tri.simplices
+    k = simplices.shape[1]
+    pairs = []
+    for a in range(k):
+        for b in range(a + 1, k):
+            pairs.append(simplices[:, [a, b]])
+    uv = np.vstack(pairs)
+    uv.sort(axis=1)
+    uv = np.unique(uv, axis=0)
+    lengths = np.linalg.norm(points[uv[:, 0]] - points[uv[:, 1]], axis=1)
+    return _finish(n, uv, rng, weights=lengths)
+
+
+def random_geometric(
+    n: int, *, dim: int = 2, avg_degree: float = 8.0, seed=0
+) -> Graph:
+    """Random geometric graph (paper's *rgg2d* / *rgg3d* generators).
+
+    Points are uniform in the unit cube; vertices within radius ``r`` are
+    adjacent, ``r`` chosen so the expected degree matches ``avg_degree``.
+    """
+    from scipy.spatial import cKDTree
+
+    rng = _rng(seed)
+    points = rng.uniform(size=(n, dim))
+    # Expected degree = n * volume(ball(r)); solve for r in the unit cube.
+    unit_ball = {1: 2.0, 2: np.pi, 3: 4.0 * np.pi / 3.0}[dim]
+    radius = (avg_degree / (n * unit_ball)) ** (1.0 / dim)
+    tree = cKDTree(points)
+    pairs = tree.query_pairs(radius, output_type="ndarray")
+    if pairs.size == 0:
+        pairs = np.empty((0, 2), dtype=np.int64)
+    lengths = (
+        np.linalg.norm(points[pairs[:, 0]] - points[pairs[:, 1]], axis=1)
+        if pairs.size
+        else np.empty(0)
+    )
+    return _finish(n, pairs, rng, weights=lengths + 1e-6)
+
+
+# ----------------------------------------------------------------------
+# Infrastructure-like graphs
+# ----------------------------------------------------------------------
+def road_network_like(n: int, *, seed=0) -> Graph:
+    """Sparse planar road-network surrogate (*luxembourg_osm* class).
+
+    A Delaunay triangulation thinned to average degree ≈ 2.5 by dropping
+    the longest edges outside a Euclidean spanning tree, which mimics OSM
+    road graphs (mostly chains with occasional intersections).
+    """
+    from scipy.sparse.csgraph import minimum_spanning_tree
+    from scipy.spatial import Delaunay
+
+    rng = _rng(seed)
+    points = rng.uniform(size=(n, 2))
+    tri = Delaunay(points)
+    simplices = tri.simplices
+    uv = np.vstack(
+        [simplices[:, [0, 1]], simplices[:, [0, 2]], simplices[:, [1, 2]]]
+    )
+    uv.sort(axis=1)
+    uv = np.unique(uv, axis=0)
+    lengths = np.linalg.norm(points[uv[:, 0]] - points[uv[:, 1]], axis=1)
+    # Always keep a spanning tree, then add the shortest remaining edges
+    # until the degree budget (~1.25 n edges) is reached.
+    from scipy import sparse
+
+    mat = sparse.coo_matrix((lengths, (uv[:, 0], uv[:, 1])), shape=(n, n))
+    mst = minimum_spanning_tree(mat.tocsr()).tocoo()
+    tree_uv = np.column_stack([mst.row, mst.col])
+    tree_uv.sort(axis=1)
+    tree_set = set(map(tuple, tree_uv.tolist()))
+    budget = max(0, int(1.25 * n) - len(tree_set))
+    rest = [
+        (lengths[i], tuple(uv[i]))
+        for i in range(uv.shape[0])
+        if tuple(uv[i]) not in tree_set
+    ]
+    rest.sort()
+    chosen = tree_uv.tolist() + [list(e) for _, e in rest[:budget]]
+    chosen_arr = np.asarray(chosen, dtype=np.int64)
+    wts = np.linalg.norm(
+        points[chosen_arr[:, 0]] - points[chosen_arr[:, 1]], axis=1
+    )
+    return _finish(n, chosen_arr, rng, weights=wts)
+
+
+def power_grid_like(n: int, *, extra_edges: float = 0.35, seed=0) -> Graph:
+    """Power-grid surrogate (*USpowerGrid* / *OPF_6000* class).
+
+    A locally-attached random tree (new vertices attach to a recent
+    vertex, giving long chains) plus a fraction of extra short-range
+    edges.  Average degree lands near 2.7, matching the real grid.
+    """
+    rng = _rng(seed)
+    if n < 2:
+        raise ValueError("need at least two vertices")
+    # Tree with locality: attach to a vertex at a geometrically distributed
+    # distance back in the creation order.
+    back = rng.geometric(p=0.25, size=n - 1)
+    targets = np.maximum(np.arange(1, n) - back, 0)
+    tree = np.column_stack([np.arange(1, n), targets])
+    extras = []
+    count = int(extra_edges * n)
+    if count:
+        a = rng.integers(0, n, size=count)
+        offset = rng.geometric(p=0.1, size=count)
+        b = np.clip(a + offset, 0, n - 1)
+        mask = a != b
+        extras.append(np.column_stack([a[mask], b[mask]]))
+    uv = np.vstack([tree] + extras) if extras else tree
+    return _finish(n, uv, rng)
+
+
+# ----------------------------------------------------------------------
+# Expander-like graphs (adversarial for SuperFW)
+# ----------------------------------------------------------------------
+def barabasi_albert(n: int, attach: int, *, seed=0) -> Graph:
+    """Barabási–Albert preferential attachment (*EB_n_m* in Table 3).
+
+    A power-law expander-like graph: separators are ``O(n)``, so neither
+    ND ordering nor supernodes help (paper's adversarial case, §5.2.1).
+    """
+    rng = _rng(seed)
+    if attach < 1 or attach >= n:
+        raise ValueError("need 1 <= attach < n")
+    targets = list(range(attach))
+    repeated: list[int] = list(range(attach))
+    edges = []
+    for v in range(attach, n):
+        chosen = set()
+        while len(chosen) < min(attach, v):
+            cand = int(repeated[rng.integers(0, len(repeated))]) if repeated else int(rng.integers(0, v))
+            chosen.add(cand)
+        for t in chosen:
+            edges.append((v, t))
+            repeated.append(t)
+        repeated.extend([v] * len(chosen))
+    uv = np.asarray(edges, dtype=np.int64)
+    return _finish(n, uv, rng)
+
+
+def erdos_renyi(n: int, *, avg_degree: float = 4.0, seed=0) -> Graph:
+    """G(n, p) with ``p`` chosen for the requested average degree."""
+    rng = _rng(seed)
+    p = min(1.0, avg_degree / max(n - 1, 1))
+    # Sample the number of edges then draw distinct pairs; exact G(n, m')
+    # with m' ~ Binomial(n(n-1)/2, p) which is equivalent in distribution.
+    total_pairs = n * (n - 1) // 2
+    m = rng.binomial(total_pairs, p)
+    seen: set[tuple[int, int]] = set()
+    while len(seen) < m:
+        need = m - len(seen)
+        a = rng.integers(0, n, size=2 * need + 8)
+        b = rng.integers(0, n, size=2 * need + 8)
+        for x, y in zip(a, b):
+            if x == y:
+                continue
+            e = (int(min(x, y)), int(max(x, y)))
+            seen.add(e)
+            if len(seen) == m:
+                break
+    uv = np.asarray(sorted(seen), dtype=np.int64).reshape(-1, 2)
+    return _finish(n, uv, rng)
+
+
+def watts_strogatz(n: int, k: int, beta: float, *, seed=0) -> Graph:
+    """Watts–Strogatz small world: ring lattice with rewiring."""
+    rng = _rng(seed)
+    if k % 2 or k >= n:
+        raise ValueError("k must be even and < n")
+    base = []
+    for off in range(1, k // 2 + 1):
+        src = np.arange(n)
+        dst = (src + off) % n
+        base.append(np.column_stack([src, dst]))
+    uv = np.vstack(base)
+    rewire = rng.uniform(size=uv.shape[0]) < beta
+    uv[rewire, 1] = rng.integers(0, n, size=int(rewire.sum()))
+    uv = uv[uv[:, 0] != uv[:, 1]]
+    return _finish(n, uv, rng)

@@ -1,0 +1,157 @@
+"""Synthetic stand-ins for the paper's test-matrix suite (Table 3).
+
+The paper evaluates on SuiteSparse, DIMACS10 and SNAP matrices plus random
+generators.  Those files are not redistributable here (and 10^4–10^5-vertex
+instances are out of reach for pure-Python kernels), so each entry below is
+a *synthetic surrogate from the same structural class* at reduced scale:
+meshes stay meshes, road networks stay near-tree planar graphs, and the
+Barabási–Albert expanders stay adversarial.  Paper-reported statistics are
+kept alongside so the Table 3 reproduction can print paper-vs-measured
+columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class SuiteEntry:
+    """One row of the Table 3 reproduction.
+
+    Attributes
+    ----------
+    name:
+        Paper matrix name.
+    category:
+        Source category as listed in Table 3.
+    paper_n, paper_nnz_per_n, paper_n_over_s:
+        The statistics the paper reports for the original matrix.
+    base_n:
+        Default surrogate size (scaled down ~20-100x from the paper).
+    builder:
+        ``builder(n, seed) -> Graph`` for the surrogate class.
+    """
+
+    name: str
+    category: str
+    paper_n: float
+    paper_nnz_per_n: float
+    paper_n_over_s: float
+    base_n: int
+    builder: Callable[[int, int], Graph]
+
+    def build(self, *, size_factor: float = 1.0, seed: int = 0) -> Graph:
+        """Instantiate the surrogate at ``base_n * size_factor`` vertices."""
+        n = max(64, int(round(self.base_n * size_factor)))
+        return self.builder(n, seed)
+
+
+def _hypercube_builder(n: int, seed: int) -> Graph:
+    dim = max(3, int(round(n)).bit_length() - 1)
+    return gen.hypercube(dim, seed=seed)
+
+
+def _grid3d_builder(n: int, seed: int) -> Graph:
+    side = max(3, round(n ** (1.0 / 3.0)))
+    return gen.grid3d(side, side, side, seed=seed)
+
+
+_SUITE: list[SuiteEntry] = [
+    # --- small graphs (Fig. 6a) -------------------------------------
+    SuiteEntry("USpowerGrid", "Power network", 4.9e3, 2.66, 6.2e2, 512,
+               lambda n, s: gen.power_grid_like(n, extra_edges=0.33, seed=s)),
+    SuiteEntry("OPF_6000", "Power network", 2.9e4, 9.1, 1.4e3, 640,
+               lambda n, s: gen.power_grid_like(n, extra_edges=3.5, seed=s)),
+    SuiteEntry("nd6k", "3D", 1.8e4, 383.0, 5.8, 448,
+               lambda n, s: gen.random_geometric(n, dim=3, avg_degree=48.0, seed=s)),
+    SuiteEntry("c-42", "Optimization", 1.0e4, 10.58, 1.5e2, 512,
+               lambda n, s: gen.watts_strogatz(n, 8, 0.05, seed=s)),
+    SuiteEntry("lpl1", "Optimization", 3.2e4, 10.0, 4.8e2, 768,
+               lambda n, s: gen.watts_strogatz(n, 8, 0.02, seed=s)),
+    SuiteEntry("email-Enron", "SNAP", 3.7e4, 9.9, 52.0, 512,
+               lambda n, s: gen.barabasi_albert(n, 4, seed=s)),
+    SuiteEntry("delaunay_n14", "DIMACS10", 1.6e4, 5.99, 1.7e2, 1024,
+               lambda n, s: gen.delaunay_mesh(n, seed=s)),
+    SuiteEntry("fe_sphere", "DIMACS10", 1.6e4, 5.99, 8.5e1, 800,
+               lambda n, s: gen.delaunay_mesh(n, seed=s + 1)),
+    SuiteEntry("G67", "Random", 1e4, 4.0, 5.0e1, 512,
+               lambda n, s: gen.erdos_renyi(n, avg_degree=4.0, seed=s)),
+    SuiteEntry("EB_8192_256", "Barabasi - Albert", 8.1e3, 256.0, 2.5, 448,
+               lambda n, s: gen.barabasi_albert(n, 24, seed=s)),
+    SuiteEntry("EB_16384_64", "Barabasi - Albert", 1.63e4, 64.0, 2.6, 576,
+               lambda n, s: gen.barabasi_albert(n, 10, seed=s)),
+    SuiteEntry("rgg2d_14", "Random Geometric", 1.63e4, 128.17, 1.6e1, 896,
+               lambda n, s: gen.random_geometric(n, dim=2, avg_degree=24.0, seed=s)),
+    SuiteEntry("rgg3d_14", "Random Geometric", 1.63e4, 910.0, 2.57, 448,
+               lambda n, s: gen.random_geometric(n, dim=3, avg_degree=80.0, seed=s)),
+    SuiteEntry("hypercube_14", "hypercube Graph", 1.6e4, 28.0, 5.0, 512,
+               _hypercube_builder),
+    # --- large graphs (Fig. 6b) -------------------------------------
+    SuiteEntry("oilpan", "structural", 7.3e4, 29.1, 1.7e2, 1152,
+               lambda n, s: gen.random_geometric(n, dim=2, avg_degree=20.0, seed=s)),
+    SuiteEntry("finan512", "Optimization", 7.5e4, 7.9, 1.5e3, 1280,
+               lambda n, s: gen.power_grid_like(n, extra_edges=2.8, seed=s)),
+    SuiteEntry("net4-1", "Optimization", 8.8e4, 28.0, 2.9e3, 1280,
+               lambda n, s: gen.watts_strogatz(n, 12, 0.01, seed=s)),
+    SuiteEntry("c-69", "Optimization", 6.7e4, 9.24, 2.0e2, 1152,
+               lambda n, s: gen.watts_strogatz(n, 8, 0.04, seed=s)),
+    SuiteEntry("onera_dual", "Structural", 8.5e4, 4.9, 1.5e2, 1331,
+               _grid3d_builder),
+    SuiteEntry("delaunay_n16", "DIMACS10", 6.5e4, 5.99, 1.7e2, 1600,
+               lambda n, s: gen.delaunay_mesh(n, seed=s + 2)),
+    SuiteEntry("luxembourg_osm", "DIMACS10", 1.1e5, 2.1, 6.7e3, 1792,
+               lambda n, s: gen.road_network_like(n, seed=s)),
+    SuiteEntry("fe_tooth", "DIMACS10", 7.8e4, 11.6, 88.0, 1280,
+               lambda n, s: gen.random_geometric(n, dim=3, avg_degree=10.0, seed=s)),
+    SuiteEntry("wing", "DIMACS10", 6.2e4, 3.9, 1.0e2, 1280,
+               lambda n, s: gen.road_network_like(n, seed=s + 3)),
+    SuiteEntry("t60k", "DIMACS10", 6.0e4, 3.0, 1.1e3, 1408,
+               lambda n, s: gen.road_network_like(n, seed=s + 4)),
+]
+
+_BY_NAME = {entry.name: entry for entry in _SUITE}
+
+#: Graphs the paper groups as "small" (Fig. 6a).
+SMALL_NAMES = [e.name for e in _SUITE[:14]]
+#: Graphs the paper groups as "large" (Fig. 6b).
+LARGE_NAMES = [e.name for e in _SUITE[14:]]
+#: The four graphs of the strong-scaling study (Fig. 7).
+SCALING_NAMES = ["finan512", "net4-1", "email-Enron", "wing"]
+
+
+def suite_names() -> list[str]:
+    """All Table 3 matrix names in paper order."""
+    return [e.name for e in _SUITE]
+
+
+def get_entry(name: str) -> SuiteEntry:
+    """Look up a suite entry by paper matrix name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown suite graph {name!r}; choose from {suite_names()}"
+        ) from None
+
+
+def build_suite(
+    names: list[str] | None = None, *, size_factor: float = 1.0, seed: int = 0
+) -> list[tuple[SuiteEntry, Graph]]:
+    """Build (entry, graph) pairs for the requested suite subset."""
+    chosen = _SUITE if names is None else [get_entry(n) for n in names]
+    return [(e, e.build(size_factor=size_factor, seed=seed)) for e in chosen]
+
+
+def small_suite(*, size_factor: float = 1.0, seed: int = 0):
+    """The Fig. 6a graphs."""
+    return build_suite(SMALL_NAMES, size_factor=size_factor, seed=seed)
+
+
+def large_suite(*, size_factor: float = 1.0, seed: int = 0):
+    """The Fig. 6b graphs."""
+    return build_suite(LARGE_NAMES, size_factor=size_factor, seed=seed)

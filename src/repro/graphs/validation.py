@@ -1,0 +1,81 @@
+"""Input validation and output certification helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def validate_weights(graph: Graph, *, require_positive: bool = False) -> None:
+    """Raise unless weights are finite (and positive when required).
+
+    Dijkstra and Δ-stepping require non-negative weights; FW variants only
+    require the absence of negative cycles (checked separately).
+    """
+    if not np.all(np.isfinite(graph.weights)):
+        raise ValueError("edge weights must be finite")
+    if require_positive and graph.weights.size and graph.weights.min() < 0:
+        raise ValueError("this algorithm requires non-negative edge weights")
+
+
+def has_negative_cycle(graph: Graph) -> bool:
+    """Bellman-Ford based negative-cycle detection.
+
+    Runs ``n`` rounds of vectorized relaxation over all arcs from a virtual
+    super-source (distance 0 to every vertex); a relaxation succeeding on
+    round ``n`` proves a negative cycle.
+    """
+    n = graph.n
+    if n == 0 or graph.indices.size == 0:
+        return False
+    rows = np.repeat(np.arange(n), np.diff(graph.indptr))
+    dist = np.zeros(n)
+    for _ in range(n):
+        cand = dist[rows] + graph.weights
+        new = dist.copy()
+        np.minimum.at(new, graph.indices, cand)
+        if np.allclose(new, dist):
+            return False
+        dist = new
+    cand = dist[rows] + graph.weights
+    new = dist.copy()
+    np.minimum.at(new, graph.indices, cand)
+    return bool(np.any(new < dist - 1e-12))
+
+
+def check_apsp_certificate(
+    graph: Graph, dist: np.ndarray, *, atol: float = 1e-9
+) -> None:
+    """Validate an APSP result without recomputing it from scratch.
+
+    Checks the three certificate conditions: zero diagonal, the triangle
+    inequality over every arc (``dist[i,v] <= dist[i,u] + w(u,v)``), and
+    edge feasibility (``dist[u,v] <= w(u,v)``).  Together with symmetry
+    these certify that ``dist`` is the pointwise-minimal feasible matrix
+    whenever it is realisable; they catch any over- or under-estimate a
+    buggy solver could produce.
+    """
+    n = graph.n
+    if dist.shape != (n, n):
+        raise AssertionError(f"distance matrix has shape {dist.shape}")
+    if not np.allclose(np.diag(dist), 0.0, atol=atol):
+        raise AssertionError("diagonal of Dist must be zero")
+    from repro.graphs.digraph import DiGraph
+
+    if not isinstance(graph, DiGraph) and not np.allclose(
+        dist, dist.T, atol=atol, equal_nan=True
+    ):
+        raise AssertionError("Dist must be symmetric for undirected graphs")
+    rows = np.repeat(np.arange(n), np.diff(graph.indptr))
+    cols = graph.indices
+    w = graph.weights
+    # Edge feasibility.
+    if np.any(dist[rows, cols] > w + atol):
+        raise AssertionError("some dist[u,v] exceeds the direct edge weight")
+    # Triangle inequality across each arc, vectorized over all sources.
+    lhs = dist[:, cols]
+    rhs = dist[:, rows] + w[None, :]
+    finite = np.isfinite(rhs)
+    if np.any(lhs[finite] > rhs[finite] + atol):
+        raise AssertionError("triangle inequality violated across an edge")

@@ -1,0 +1,56 @@
+"""Minimum-degree ordering.
+
+A greedy fill-reducing alternative to nested dissection: repeatedly
+eliminate a vertex of minimum degree in the (dynamically filled) quotient
+graph.  Used by the ordering ablation benchmark; for the graph sizes this
+library targets the straightforward set-based elimination graph is fast
+enough, so we implement exact minimum degree rather than AMD's
+approximation.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.ordering.base import Ordering
+
+
+def minimum_degree_ordering(graph: Graph, *, seed: int = 0) -> Ordering:
+    """Greedy minimum-degree elimination ordering.
+
+    Ties are broken by vertex index for determinism; ``seed`` is accepted
+    for interface uniformity with the other orderings.
+    """
+    del seed
+    n = graph.n
+    adj: list[set[int]] = [set(map(int, graph.neighbors(v))) for v in range(n)]
+    alive = np.ones(n, dtype=bool)
+    heap: list[tuple[int, int]] = [(len(adj[v]), v) for v in range(n)]
+    heapq.heapify(heap)
+    order = np.empty(n, dtype=np.int64)
+    count = 0
+    while heap:
+        deg, v = heapq.heappop(heap)
+        if not alive[v] or deg != len(adj[v]):
+            continue
+        alive[v] = False
+        order[count] = v
+        count += 1
+        neigh = [u for u in adj[v] if alive[u]]
+        # Eliminate v: clique its neighborhood (this is where fill appears).
+        for u in neigh:
+            adj[u].discard(v)
+        for i, u in enumerate(neigh):
+            others = adj[u]
+            for w in neigh[i + 1 :]:
+                if w not in others:
+                    others.add(w)
+                    adj[w].add(u)
+        for u in neigh:
+            heapq.heappush(heap, (len(adj[u]), u))
+        adj[v].clear()
+    assert count == n
+    return Ordering(perm=order, method="mmd")

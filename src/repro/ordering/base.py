@@ -1,0 +1,48 @@
+"""Common ordering result type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.perm import check_permutation, invert_permutation
+
+
+@dataclass(frozen=True)
+class Ordering:
+    """A vertex reordering produced by any ordering algorithm.
+
+    Attributes
+    ----------
+    perm:
+        ``perm[new] = old`` — the vertex occupying position ``new``.
+    method:
+        Name of the producing algorithm (``"nd"``, ``"bfs"``, ...).
+    stats:
+        Free-form metadata (separator sizes, tree height, ...).
+    """
+
+    perm: np.ndarray
+    method: str = "custom"
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_permutation(self.perm)
+        object.__setattr__(
+            self, "perm", np.asarray(self.perm, dtype=np.int64)
+        )
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.perm.shape[0]
+
+    @property
+    def iperm(self) -> np.ndarray:
+        """Inverse permutation: ``iperm[old] = new``."""
+        return invert_permutation(self.perm)
+
+    def identity_like(self) -> bool:
+        """True when the ordering is the identity."""
+        return bool(np.array_equal(self.perm, np.arange(self.n)))

@@ -1,0 +1,77 @@
+"""BFS and reverse Cuthill-McKee orderings.
+
+The BFS ordering is the paper's *SuperBFS* baseline (§5.1.2): discovery
+order from vertex 0, which gives the matrix *some* banded structure so the
+supernodal machinery still finds exploitable blocks, but without the
+asymptotic fill reduction of nested dissection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.ordering.base import Ordering
+
+
+def _bfs_order(graph: Graph, start: int, *, sort_by_degree: bool = False) -> np.ndarray:
+    n = graph.n
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    seen = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    degrees = graph.degree() if sort_by_degree else None
+    count = 0
+    for root in [start] + list(range(n)):
+        if seen[root]:
+            continue
+        seen[root] = True
+        order[count] = root
+        count += 1
+        head = count - 1
+        while head < count:
+            v = order[head]
+            head += 1
+            neigh = graph.neighbors(v)
+            fresh = neigh[~seen[neigh]]
+            if fresh.size:
+                fresh = np.unique(fresh)
+                if sort_by_degree:
+                    fresh = fresh[np.argsort(degrees[fresh], kind="stable")]
+                seen[fresh] = True
+                order[count : count + fresh.size] = fresh
+                count += fresh.size
+    return order
+
+
+def bfs_ordering(graph: Graph, start: int = 0) -> Ordering:
+    """Vertex-0 BFS discovery ordering (the SuperBFS baseline)."""
+    return Ordering(perm=_bfs_order(graph, start), method="bfs")
+
+
+def _pseudo_peripheral(graph: Graph, start: int = 0) -> int:
+    """Double-BFS heuristic for a pseudo-peripheral starting vertex."""
+    v = start
+    last_ecc = -1
+    for _ in range(4):
+        order = _bfs_order(graph, v)
+        far = int(order[-1])
+        # Eccentricity proxy: BFS levels; recompute by one more sweep.
+        if far == v or last_ecc == far:
+            break
+        last_ecc = v
+        v = far
+    return v
+
+
+def rcm_ordering(graph: Graph) -> Ordering:
+    """Reverse Cuthill-McKee: bandwidth-reducing ordering.
+
+    BFS from a pseudo-peripheral vertex with degree-sorted tie-breaking,
+    then reversed.
+    """
+    if graph.n == 0:
+        return Ordering(perm=np.empty(0, dtype=np.int64), method="rcm")
+    start = _pseudo_peripheral(graph)
+    order = _bfs_order(graph, start, sort_by_degree=True)
+    return Ordering(perm=order[::-1].copy(), method="rcm")

@@ -1,0 +1,96 @@
+"""Task-DAG extraction for the scaling simulator.
+
+Each algorithm is reduced to *malleable tasks*: a task has ``work`` (total
+scalar operations, divisible over processors) and ``depth`` (the number of
+inherently sequential kernel steps — the rank-1 pivots of a Floyd-Warshall
+sweep, or the bucket rounds of Δ-stepping — each of which costs at least
+one kernel dispatch regardless of processor count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.symbolic.structure import SupernodalStructure
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """A malleable task for the work-depth simulator.
+
+    Attributes
+    ----------
+    work:
+        Total scalar operations (parallelizable).
+    depth:
+        Sequential kernel steps on the task's critical path.
+    """
+
+    work: float
+    depth: float
+
+
+def supernode_costs(
+    structure: SupernodalStructure, s: int, *, exact_panels: bool = True
+) -> SimTask:
+    """Work/depth of eliminating supernode ``s``.
+
+    Work mirrors the kernel op counts of
+    :func:`repro.core.superfw.eliminate_supernode`; depth is ``3 b`` rank-1
+    steps (DiagUpdate, PanelUpdate and OuterUpdate each pivot ``b`` times;
+    the two panels run concurrently).
+    """
+    lo, hi = structure.col_range(s)
+    b = hi - lo
+    r = structure.descendant_vertices(s).shape[0]
+    r += structure.ancestor_vertices(s, exact=exact_panels).shape[0]
+    work = 2 * b**3 + 2 * (2 * b * b * r) + 2 * (r * b * r)
+    return SimTask(work=float(work), depth=float(3 * b))
+
+
+def superfw_levels(
+    structure: SupernodalStructure, *, exact_panels: bool = True
+) -> list[list[SimTask]]:
+    """SuperFW task DAG grouped by etree level (barriers between levels)."""
+    return [
+        [supernode_costs(structure, int(s), exact_panels=exact_panels) for s in group]
+        for group in structure.level_order()
+    ]
+
+
+def sssp_family_tasks(graph: Graph, *, heap_constant: float = 2.0) -> list[SimTask]:
+    """Per-source tasks of APSP-Dijkstra (CSR or Boost-style).
+
+    Each SSSP is inherently sequential (priority-queue loop), so
+    ``depth == work``; the work model is the standard
+    ``(m + n) log n`` binary-heap count scaled by ``heap_constant``.
+    APSP parallelizes across the ``n`` independent sources — the
+    embarrassingly parallel pattern that lets Dijkstra scale linearly in
+    Fig. 7.
+    """
+    n, m = graph.n, graph.num_edges
+    logn = max(np.log2(max(n, 2)), 1.0)
+    per_source = heap_constant * (2 * m + n) * logn
+    return [SimTask(work=per_source, depth=per_source) for _ in range(n)]
+
+
+def delta_stepping_tasks(
+    graph: Graph, rounds_per_source: np.ndarray, *, round_cost: float = 1.0
+) -> list[SimTask]:
+    """Per-source Δ-stepping tasks.
+
+    Δ-stepping parallelizes *within* one SSSP (bucket relaxations), so its
+    APSP driver runs sources sequentially and each task's depth is its
+    bucket-round count (`rounds_per_source`, measured by
+    :func:`repro.core.delta_stepping.sssp_delta_stepping`).  Heavy
+    synchronization per round is what makes it scale poorly (§5.2.3).
+    """
+    n, m = graph.n, graph.num_edges
+    per_source_work = float(2 * m + n)
+    return [
+        SimTask(work=per_source_work, depth=float(r) * round_cost)
+        for r in np.asarray(rounds_per_source, dtype=np.float64)
+    ]

@@ -1,0 +1,48 @@
+"""Semiring algebra substrate.
+
+All path problems in this library are expressed over a closed semiring
+``(S, ⊕, ⊗, 0̄, 1̄)``.  APSP uses the *tropical* (min-plus) semiring where
+``⊕ = min``, ``⊗ = +``, ``0̄ = +inf`` and ``1̄ = 0``; the infinite entries of
+the distance matrix play the role of structural zeros in sparse numerical
+linear algebra (paper §2).
+"""
+
+from repro.semiring.base import (
+    BOOLEAN,
+    MAX_PLUS,
+    MIN_MAX,
+    MIN_PLUS,
+    Semiring,
+)
+from repro.semiring.minplus import (
+    minplus_closure_scalarcount,
+    minplus_gemm,
+    minplus_gemm_flops,
+    minplus_inner,
+    semiring_gemm,
+)
+from repro.semiring.kernels import (
+    diag_update,
+    floyd_warshall_kernel,
+    outer_update,
+    panel_update_cols,
+    panel_update_rows,
+)
+
+__all__ = [
+    "BOOLEAN",
+    "MAX_PLUS",
+    "MIN_MAX",
+    "MIN_PLUS",
+    "Semiring",
+    "diag_update",
+    "floyd_warshall_kernel",
+    "minplus_closure_scalarcount",
+    "minplus_gemm",
+    "minplus_gemm_flops",
+    "minplus_inner",
+    "outer_update",
+    "panel_update_cols",
+    "panel_update_rows",
+    "semiring_gemm",
+]

@@ -1,0 +1,104 @@
+"""Semiring definitions.
+
+A semiring packages the two binary operations and their identities that a
+path problem needs (paper §2, Table 1).  Operations are NumPy ufunc-style
+callables so every kernel in :mod:`repro.semiring.minplus` stays vectorized
+for any semiring instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A (commutative-⊕) semiring over NumPy arrays.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    add:
+        The ``⊕`` operation (e.g. :func:`numpy.minimum`).  Must be
+        associative, commutative, and idempotent-friendly for in-place
+        accumulation; kernels rely on ``add(x, zero) == x``.
+    mul:
+        The ``⊗`` operation (e.g. :func:`numpy.add`).  Must distribute over
+        ``⊕`` and satisfy ``mul(x, zero) == zero`` (annihilation).
+    zero:
+        The ``⊕`` identity / ``⊗`` annihilator (``+inf`` for min-plus).
+    one:
+        The ``⊗`` identity (``0.0`` for min-plus).
+    dtype:
+        Preferred NumPy dtype for matrices over this semiring.
+    """
+
+    name: str
+    add: Callable[..., np.ndarray]
+    mul: Callable[..., np.ndarray]
+    zero: float
+    one: float
+    dtype: np.dtype = field(default=np.dtype(np.float64))
+
+    def zeros(self, shape) -> np.ndarray:
+        """Return an array of ``⊕``-identities ("structurally empty")."""
+        out = np.empty(shape, dtype=self.dtype)
+        out.fill(self.zero)
+        return out
+
+    def eye(self, n: int) -> np.ndarray:
+        """Return the ``n x n`` multiplicative identity matrix."""
+        out = self.zeros((n, n))
+        np.fill_diagonal(out, self.one)
+        return out
+
+    def is_zero(self, values: np.ndarray) -> np.ndarray:
+        """Elementwise mask of structural zeros (handles inf and NaN-free)."""
+        values = np.asarray(values)
+        if np.isinf(self.zero):
+            return np.isinf(values) & (np.sign(values) == np.sign(self.zero))
+        return values == self.zero
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+#: The tropical semiring ``(min, +)`` used for shortest paths.
+MIN_PLUS = Semiring(
+    name="min-plus",
+    add=np.minimum,
+    mul=np.add,
+    zero=np.inf,
+    one=0.0,
+)
+
+#: ``(max, +)``: longest paths on DAGs / critical-path analysis.
+MAX_PLUS = Semiring(
+    name="max-plus",
+    add=np.maximum,
+    mul=np.add,
+    zero=-np.inf,
+    one=0.0,
+)
+
+#: ``(or, and)`` encoded over float 0/1: transitive closure / reachability.
+BOOLEAN = Semiring(
+    name="boolean",
+    add=np.maximum,
+    mul=np.minimum,
+    zero=0.0,
+    one=1.0,
+)
+
+#: ``(min, max)``: minimax / bottleneck shortest paths.
+MIN_MAX = Semiring(
+    name="min-max",
+    add=np.minimum,
+    mul=np.maximum,
+    zero=np.inf,
+    one=-np.inf,
+)

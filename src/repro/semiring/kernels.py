@@ -1,0 +1,115 @@
+"""The three blocked Floyd-Warshall kernels (paper §2.3, Fig. 2b).
+
+Every FW variant in this library — dense blocked, BFS-supernodal, and
+SuperFW — is assembled from exactly these primitives:
+
+* :func:`diag_update` — classic FW on a diagonal block ``A(k,k)``;
+* :func:`panel_update_rows` / :func:`panel_update_cols` — the PanelUpdate,
+  a min-plus multiply of a block row/column with the diagonal block;
+* :func:`outer_update` — the MinPlus outer product (Schur-complement
+  analogue) updating the trailing matrix.
+
+All kernels mutate their first argument in place and return the number of
+scalar semiring operations performed, which feeds the operation counters of
+:mod:`repro.analysis.counters`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.semiring.base import MIN_PLUS, Semiring
+from repro.semiring.minplus import minplus_gemm, semiring_gemm
+
+
+def floyd_warshall_kernel(
+    dist: np.ndarray, semiring: Semiring = MIN_PLUS
+) -> int:
+    """In-place dense Floyd-Warshall sweep over a square block.
+
+    This is the scalar Algorithm 1 of the paper with the two inner loops
+    vectorized: iteration ``k`` performs the rank-1 update
+    ``D ← D ⊕ D[:,k] ⊗ D[k,:]``.
+
+    Returns the scalar semiring op count (``2 b^3`` for a ``b x b`` block).
+    """
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValueError("diagonal block must be square")
+    b = dist.shape[0]
+    if semiring is MIN_PLUS:
+        for k in range(b):
+            np.minimum(dist, dist[:, k : k + 1] + dist[k, :], out=dist)
+    else:
+        for k in range(b):
+            semiring.add(
+                dist,
+                semiring.mul(dist[:, k : k + 1], dist[k, :]),
+                out=dist,
+            )
+    return 2 * b * b * b
+
+
+def diag_update(dist: np.ndarray, semiring: Semiring = MIN_PLUS) -> int:
+    """Alias of :func:`floyd_warshall_kernel` named after the paper's step."""
+    return floyd_warshall_kernel(dist, semiring)
+
+
+def panel_update_rows(
+    panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
+) -> int:
+    """PanelUpdate for a block *row*: ``A(k,:) ← A(k,:) ⊕ A(k,k) ⊗ A(k,:)``.
+
+    ``panel`` has shape ``(b, c)`` and is updated in place; ``diag`` is the
+    already diag-updated ``(b, b)`` block multiplying from the *left*.
+    """
+    b = diag.shape[0]
+    if diag.shape != (b, b) or panel.shape[0] != b:
+        raise ValueError("diag/panel shapes incompatible")
+    if semiring is MIN_PLUS:
+        minplus_gemm(diag, panel.copy(), out=panel, accumulate=True)
+    else:
+        semiring_gemm(semiring, diag, panel.copy(), out=panel, accumulate=True)
+    return 2 * b * b * panel.shape[1]
+
+
+def panel_update_cols(
+    panel: np.ndarray, diag: np.ndarray, semiring: Semiring = MIN_PLUS
+) -> int:
+    """PanelUpdate for a block *column*: ``A(:,k) ← A(:,k) ⊕ A(:,k) ⊗ A(k,k)``.
+
+    ``panel`` has shape ``(r, b)`` and is updated in place; ``diag``
+    multiplies from the *right*.
+    """
+    b = diag.shape[0]
+    if diag.shape != (b, b) or panel.shape[1] != b:
+        raise ValueError("diag/panel shapes incompatible")
+    if semiring is MIN_PLUS:
+        minplus_gemm(panel.copy(), diag, out=panel, accumulate=True)
+    else:
+        semiring_gemm(semiring, panel.copy(), diag, out=panel, accumulate=True)
+    return 2 * b * b * panel.shape[0]
+
+
+def outer_update(
+    trailing: np.ndarray,
+    col_panel: np.ndarray,
+    row_panel: np.ndarray,
+    semiring: Semiring = MIN_PLUS,
+) -> int:
+    """MinPlus outer product: ``A(i,j) ← A(i,j) ⊕ A(i,k) ⊗ A(k,j)``.
+
+    ``trailing`` is an ``(r, c)`` region updated in place; ``col_panel`` is
+    ``(r, b)`` (the ``A(i,k)`` operand) and ``row_panel`` is ``(b, c)``.
+    This is the semiring analogue of the Schur-complement (GEMM) update in
+    Cholesky factorization and dominates the total work (paper §4.1).
+    """
+    r, b = col_panel.shape
+    if row_panel.shape[0] != b or trailing.shape != (r, row_panel.shape[1]):
+        raise ValueError("outer-update shapes incompatible")
+    if semiring is MIN_PLUS:
+        minplus_gemm(col_panel, row_panel, out=trailing, accumulate=True)
+    else:
+        semiring_gemm(
+            semiring, col_panel, row_panel, out=trailing, accumulate=True
+        )
+    return 2 * r * b * row_panel.shape[1]

@@ -1,0 +1,202 @@
+"""Supernodal block structure with ancestor/descendant sets (paper §3.3-3.4).
+
+:class:`SupernodalStructure` is the object the SuperFW sweep walks: for each
+supernode it serves the column range, the descendant set ``D(k)``, and the
+ancestor set ``A(k)`` — either the full etree ancestor path (as Algorithm 3
+is written) or clipped to the exact symbolic fill rows (never larger, often
+much smaller, and provably sufficient because a finite ``Dist[i,k]`` at
+step ``k`` with ``i > k`` implies ``(i,k)`` is in the filled pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.symbolic.etree import etree_levels
+from repro.symbolic.fill import SymbolicFactor
+from repro.symbolic.supernodes import find_supernodes, relax_supernodes, supernode_parents
+
+
+@dataclass
+class SupernodalStructure:
+    """Block layout of the permuted distance matrix.
+
+    Attributes
+    ----------
+    snode_ptr:
+        Supernode ``s`` owns contiguous columns ``[snode_ptr[s], snode_ptr[s+1])``.
+    snode_of:
+        Column → supernode map.
+    parent:
+        Supernodal etree parent array (-1 for roots).
+    children:
+        Children lists of the supernodal etree.
+    levels:
+        Bottom-up etree level per supernode (cousins share a level).
+    fill_block_rows:
+        For each supernode, the sorted ancestor supernodes that contain at
+        least one exact fill row of its columns (the supernodal factor's
+        block-column structure).
+    """
+
+    snode_ptr: np.ndarray
+    snode_of: np.ndarray
+    parent: np.ndarray
+    children: list[list[int]]
+    levels: np.ndarray
+    fill_block_rows: list[np.ndarray]
+    nnz_factor: int = 0
+    fill_in: int = 0
+    _subtree_cache: dict[int, np.ndarray] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of matrix columns (graph vertices)."""
+        return int(self.snode_ptr[-1])
+
+    @property
+    def ns(self) -> int:
+        """Number of supernodes."""
+        return self.snode_ptr.shape[0] - 1
+
+    def col_range(self, s: int) -> tuple[int, int]:
+        """Column range ``[lo, hi)`` of supernode ``s``."""
+        return int(self.snode_ptr[s]), int(self.snode_ptr[s + 1])
+
+    def snode_size(self, s: int) -> int:
+        """Number of columns in supernode ``s``."""
+        lo, hi = self.col_range(s)
+        return hi - lo
+
+    # ------------------------------------------------------------------
+    def ancestor_snodes(self, s: int) -> np.ndarray:
+        """``A(s)``: the parent chain of ``s`` up to its root (ascending)."""
+        out = []
+        p = self.parent[s]
+        while p >= 0:
+            out.append(int(p))
+            p = self.parent[p]
+        return np.asarray(out, dtype=np.int64)
+
+    def descendant_snodes(self, s: int) -> np.ndarray:
+        """``D(s)``: every supernode strictly below ``s`` (sorted)."""
+        cached = self._subtree_cache.get(s)
+        if cached is not None:
+            return cached
+        out: list[int] = []
+        stack = list(self.children[s])
+        while stack:
+            v = stack.pop()
+            out.append(v)
+            stack.extend(self.children[v])
+        arr = np.asarray(sorted(out), dtype=np.int64)
+        self._subtree_cache[s] = arr
+        return arr
+
+    def _vertices_of(self, snodes: np.ndarray) -> np.ndarray:
+        if snodes.size == 0:
+            return np.empty(0, dtype=np.int64)
+        parts = [
+            np.arange(self.snode_ptr[t], self.snode_ptr[t + 1])
+            for t in snodes
+        ]
+        return np.concatenate(parts)
+
+    def descendant_vertices(self, s: int) -> np.ndarray:
+        """Columns of every supernode in ``D(s)`` (ascending)."""
+        return self._vertices_of(self.descendant_snodes(s))
+
+    def ancestor_vertices(self, s: int, *, exact: bool = True) -> np.ndarray:
+        """Columns of ``A(s)`` — exact fill block rows or the full chain.
+
+        ``exact=True`` uses the supernodal factor's block structure (the
+        ancestors that actually receive finite values); ``exact=False``
+        reproduces Algorithm 3 literally.
+        """
+        snodes = self.fill_block_rows[s] if exact else self.ancestor_snodes(s)
+        return self._vertices_of(snodes)
+
+    # ------------------------------------------------------------------
+    def level_order(self) -> list[np.ndarray]:
+        """Supernodes grouped by etree level, bottom level first.
+
+        All members of one group are pairwise cousins, hence eliminable in
+        parallel (paper §3.5).
+        """
+        nlevels = int(self.levels.max()) + 1 if self.ns else 0
+        return [
+            np.flatnonzero(self.levels == lvl).astype(np.int64)
+            for lvl in range(nlevels)
+        ]
+
+    def stats(self) -> dict:
+        """Summary statistics for reporting."""
+        sizes = np.diff(self.snode_ptr)
+        return {
+            "n": self.n,
+            "num_supernodes": self.ns,
+            "max_snode": int(sizes.max()) if self.ns else 0,
+            "mean_snode": float(sizes.mean()) if self.ns else 0.0,
+            "tree_levels": int(self.levels.max()) + 1 if self.ns else 0,
+            "nnz_factor": self.nnz_factor,
+            "fill_in": self.fill_in,
+        }
+
+
+def build_structure(
+    sym: SymbolicFactor,
+    *,
+    relax: bool = True,
+    max_snode: int = 64,
+    small_snode: int = 8,
+) -> SupernodalStructure:
+    """Assemble the supernodal structure from a symbolic factorization.
+
+    Parameters
+    ----------
+    sym:
+        Output of :func:`repro.symbolic.fill.symbolic_cholesky`.
+    relax:
+        Amalgamate small supernodes into parents (bigger blocks, slightly
+        more logical work) — the supernodal analogue of relaxed supernodes.
+    max_snode / small_snode:
+        Relaxation thresholds (see :func:`repro.symbolic.supernodes.relax_supernodes`).
+    """
+    snode_ptr = find_supernodes(sym)
+    if relax:
+        snode_ptr = relax_supernodes(
+            sym, snode_ptr, max_size=max_snode, small=small_snode
+        )
+    ns = snode_ptr.shape[0] - 1
+    snode_of = np.empty(sym.n, dtype=np.int64)
+    for s in range(ns):
+        snode_of[snode_ptr[s] : snode_ptr[s + 1]] = s
+    parent = supernode_parents(sym, snode_ptr)
+    children: list[list[int]] = [[] for _ in range(ns)]
+    for s in range(ns):
+        if parent[s] >= 0:
+            children[parent[s]].append(s)
+    levels = etree_levels(parent)
+    fill_block_rows: list[np.ndarray] = []
+    for s in range(ns):
+        lo, hi = snode_ptr[s], snode_ptr[s + 1]
+        rows_sets = [sym.col_struct[j] for j in range(lo, hi)]
+        if rows_sets:
+            rows = np.unique(np.concatenate(rows_sets))
+            rows = rows[rows >= hi]  # outside the supernode itself
+        else:
+            rows = np.empty(0, dtype=np.int64)
+        fill_block_rows.append(np.unique(snode_of[rows]) if rows.size else np.empty(0, dtype=np.int64))
+    return SupernodalStructure(
+        snode_ptr=snode_ptr,
+        snode_of=snode_of,
+        parent=parent,
+        children=children,
+        levels=levels,
+        fill_block_rows=fill_block_rows,
+        nnz_factor=sym.nnz_factor,
+        fill_in=sym.fill_in,
+    )

@@ -1,0 +1,20 @@
+"""Shared utilities: permutations, timing, and small numeric helpers."""
+
+from repro.util.perm import (
+    apply_symmetric_permutation,
+    check_permutation,
+    compose_permutations,
+    identity_permutation,
+    invert_permutation,
+)
+from repro.util.timing import Timer, TimingBreakdown
+
+__all__ = [
+    "Timer",
+    "TimingBreakdown",
+    "apply_symmetric_permutation",
+    "check_permutation",
+    "compose_permutations",
+    "identity_permutation",
+    "invert_permutation",
+]

@@ -1,0 +1,72 @@
+"""Permutation helpers used by orderings and symbolic analysis.
+
+Conventions
+-----------
+A permutation is a 1-D integer array ``perm`` of length ``n`` such that
+``perm[new] = old``: position ``new`` in the reordered numbering is occupied
+by original vertex ``perm[new]``.  The inverse ``iperm`` satisfies
+``iperm[old] = new``.  This matches the convention used by
+``scipy.sparse.csgraph.reverse_cuthill_mckee`` and by most sparse direct
+solver literature.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def identity_permutation(n: int) -> np.ndarray:
+    """Return the identity permutation of length ``n``."""
+    return np.arange(n, dtype=np.int64)
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Return ``iperm`` with ``iperm[perm[i]] == i``.
+
+    Parameters
+    ----------
+    perm:
+        A valid permutation of ``0..n-1``.
+    """
+    perm = np.asarray(perm, dtype=np.int64)
+    iperm = np.empty_like(perm)
+    iperm[perm] = np.arange(perm.shape[0], dtype=np.int64)
+    return iperm
+
+
+def compose_permutations(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Compose two ``new -> old`` permutations.
+
+    Applying the returned permutation is equivalent to applying ``first``
+    and then ``second``: ``out[new] = first[second[new]]``.
+    """
+    first = np.asarray(first, dtype=np.int64)
+    second = np.asarray(second, dtype=np.int64)
+    if first.shape != second.shape:
+        raise ValueError("permutations must have equal length")
+    return first[second]
+
+
+def check_permutation(perm: np.ndarray, n: int | None = None) -> None:
+    """Raise ``ValueError`` unless ``perm`` is a permutation of ``0..n-1``."""
+    perm = np.asarray(perm)
+    if perm.ndim != 1:
+        raise ValueError("permutation must be one-dimensional")
+    if n is not None and perm.shape[0] != n:
+        raise ValueError(f"permutation has length {perm.shape[0]}, expected {n}")
+    n = perm.shape[0]
+    seen = np.zeros(n, dtype=bool)
+    if n and (perm.min() < 0 or perm.max() >= n):
+        raise ValueError("permutation entries out of range")
+    seen[perm] = True
+    if not seen.all():
+        raise ValueError("array is not a permutation: repeated entries")
+
+
+def apply_symmetric_permutation(dense: np.ndarray, perm: np.ndarray) -> np.ndarray:
+    """Return ``A[perm, :][:, perm]`` for a square dense matrix."""
+    dense = np.asarray(dense)
+    if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+        raise ValueError("expected a square matrix")
+    perm = np.asarray(perm, dtype=np.int64)
+    return dense[np.ix_(perm, perm)]

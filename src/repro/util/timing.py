@@ -1,0 +1,74 @@
+"""Lightweight wall-clock timing used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class Timer:
+    """Context-manager stopwatch.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(10))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+
+@dataclass
+class TimingBreakdown:
+    """Accumulates named timing phases (e.g. *ordering*, *symbolic*, *solve*).
+
+    Used to reproduce the pre-processing-overhead analysis of §5.1.4 of the
+    paper, which reports ordering+symbolic cost relative to the numeric
+    SuperFW sweep.
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into phase ``name``."""
+        self.phases[name] = self.phases.get(name, 0.0) + float(seconds)
+
+    def time(self, name: str):
+        """Return a context manager that accumulates into phase ``name``."""
+        breakdown = self
+
+        class _Phase:
+            def __enter__(self) -> None:
+                self._start = time.perf_counter()
+
+            def __exit__(self, *exc) -> None:
+                breakdown.add(name, time.perf_counter() - self._start)
+
+        return _Phase()
+
+    @property
+    def total(self) -> float:
+        """Total seconds across every phase."""
+        return sum(self.phases.values())
+
+    def fraction(self, name: str) -> float:
+        """Share of the total spent in phase ``name`` (0 if nothing timed)."""
+        total = self.total
+        return self.phases.get(name, 0.0) / total if total > 0 else 0.0
+
+    def __str__(self) -> str:
+        parts = [f"{k}={v * 1e3:.2f}ms" for k, v in self.phases.items()]
+        return "TimingBreakdown(" + ", ".join(parts) + ")"

@@ -1,0 +1,63 @@
+"""Shared fixtures: small graphs and the scipy APSP oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+
+def scipy_apsp(graph: Graph) -> np.ndarray:
+    """Independent APSP oracle (scipy's Dijkstra)."""
+    from scipy.sparse.csgraph import shortest_path
+
+    dist = shortest_path(graph.to_scipy(), method="D")
+    np.fill_diagonal(dist, 0.0)
+    return dist
+
+
+def toy_graph() -> Graph:
+    """The 6-vertex example of paper Fig. 1."""
+    edges = [
+        (0, 1, 0.3),
+        (1, 2, 0.2),
+        (1, 3, 0.2),
+        (0, 4, 0.6),
+        (0, 5, 0.6),
+    ]
+    return Graph.from_edges(6, edges)
+
+
+GRAPH_BUILDERS = {
+    "grid": lambda: gen.grid2d(10, 10, seed=0),
+    "delaunay": lambda: gen.delaunay_mesh(160, seed=1),
+    "ba": lambda: gen.barabasi_albert(120, 3, seed=2),
+    "ws": lambda: gen.watts_strogatz(150, 6, 0.1, seed=3),
+    "powergrid": lambda: gen.power_grid_like(140, seed=4),
+    "rgg": lambda: gen.random_geometric(130, dim=2, avg_degree=8, seed=5),
+    "hypercube": lambda: gen.hypercube(6, seed=6),
+    "path": lambda: Graph.from_edges(5, [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 0.5), (3, 4, 1.5)]),
+}
+
+
+@pytest.fixture(params=sorted(GRAPH_BUILDERS), ids=sorted(GRAPH_BUILDERS))
+def any_graph(request) -> Graph:
+    """Parametrized fixture covering every structural graph class."""
+    return GRAPH_BUILDERS[request.param]()
+
+
+@pytest.fixture
+def grid_graph() -> Graph:
+    return gen.grid2d(10, 10, seed=0)
+
+
+@pytest.fixture
+def mesh_graph() -> Graph:
+    return gen.delaunay_mesh(160, seed=1)
+
+
+@pytest.fixture
+def fig1_graph() -> Graph:
+    return toy_graph()

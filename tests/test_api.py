@@ -1,0 +1,71 @@
+"""The unified apsp() front-end."""
+
+import numpy as np
+import pytest
+
+from repro import apsp, available_methods
+from repro.graphs.graph import Graph
+
+from conftest import scipy_apsp
+
+
+def test_available_methods_listing():
+    methods = available_methods()
+    assert "superfw" in methods
+    assert "dijkstra" in methods
+    assert methods == sorted(methods)
+
+
+@pytest.mark.parametrize(
+    "method",
+    [
+        "superfw",
+        "superbfs",
+        "parallel-superfw",
+        "dense-fw",
+        "blocked-fw",
+        "dijkstra",
+        "boost-dijkstra",
+        "delta-stepping",
+        "johnson",
+    ],
+)
+def test_every_method_matches_oracle(grid_graph, method):
+    r = apsp(grid_graph, method=method)
+    assert np.allclose(r.dist, scipy_apsp(grid_graph))
+    assert r.n == grid_graph.n
+
+
+def test_default_method_is_superfw(grid_graph):
+    assert apsp(grid_graph).method == "superfw"
+
+
+def test_superbfs_routes_through_bfs_ordering(grid_graph):
+    r = apsp(grid_graph, method="superbfs")
+    assert r.meta["plan"].ordering.method == "bfs"
+
+
+def test_unknown_method(grid_graph):
+    with pytest.raises(ValueError, match="unknown method"):
+        apsp(grid_graph, method="quantum")
+
+
+def test_options_forwarded(grid_graph):
+    r = apsp(grid_graph, method="blocked-fw", block_size=17)
+    assert r.meta["block_size"] == 17
+    r2 = apsp(grid_graph, method="delta-stepping", delta=2.0)
+    assert r2.meta["delta"] == 2.0
+
+
+def test_scipy_sparse_accepted(grid_graph):
+    r = apsp(grid_graph.to_scipy(), method="superfw")
+    assert np.allclose(r.dist, scipy_apsp(grid_graph))
+
+
+def test_nonfinite_weights_rejected():
+    # Assembled by hand since from_edges would also accept inf weights.
+    indptr = np.array([0, 1, 2])
+    indices = np.array([1, 0])
+    g = Graph(indptr, indices, np.array([np.inf, np.inf]))
+    with pytest.raises(ValueError):
+        apsp(g)

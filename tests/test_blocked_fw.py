@@ -1,0 +1,57 @@
+"""Blocked Floyd-Warshall (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocked_fw import blocked_floyd_warshall
+from repro.core.dense_fw import floyd_warshall
+from repro.graphs.graph import Graph
+
+from conftest import scipy_apsp
+
+
+@pytest.mark.parametrize("block_size", [1, 3, 7, 16, 100, 1000])
+def test_any_block_size_matches_dense(grid_graph, block_size):
+    """Blocking is a pure schedule change — results must be identical."""
+    blocked = blocked_floyd_warshall(grid_graph, block_size=block_size)
+    dense = floyd_warshall(grid_graph)
+    assert np.allclose(blocked.dist, dense.dist)
+
+
+def test_matches_oracle(any_graph):
+    r = blocked_floyd_warshall(any_graph, block_size=24)
+    assert np.allclose(r.dist, scipy_apsp(any_graph))
+
+
+def test_op_count_is_cubic(grid_graph):
+    n = grid_graph.n
+    r = blocked_floyd_warshall(grid_graph, block_size=25)
+    # Every (i,j,k) triple is touched exactly once: 2n^3 scalar ops.
+    assert r.ops.total == 2 * n**3
+
+
+def test_op_categories_cover_all_steps(grid_graph):
+    r = blocked_floyd_warshall(grid_graph, block_size=20)
+    assert set(r.ops.counts) == {"diag", "panel", "outer"}
+    assert r.ops.counts["outer"] > r.ops.counts["panel"] > 0
+
+
+def test_invalid_block_size(grid_graph):
+    with pytest.raises(ValueError):
+        blocked_floyd_warshall(grid_graph, block_size=0)
+
+
+def test_negative_cycle_detected():
+    g = Graph.from_edges(3, [(0, 1, -2.0), (1, 2, 1.0)])
+    with pytest.raises(ValueError):
+        blocked_floyd_warshall(g, block_size=2)
+
+
+def test_block_size_larger_than_matrix_degenerates_to_dense(grid_graph):
+    r = blocked_floyd_warshall(grid_graph, block_size=10 * grid_graph.n)
+    assert np.allclose(r.dist, floyd_warshall(grid_graph).dist)
+    assert r.ops.counts.get("panel", 0) == 0  # single block: only diag
+
+
+def test_meta_records_block_size(grid_graph):
+    assert blocked_floyd_warshall(grid_graph, block_size=13).meta["block_size"] == 13

@@ -1,0 +1,108 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import grid2d
+from repro.graphs.io import write_matrix_market
+
+
+def test_solve_generated(capsys):
+    assert main(["solve", "--generate", "grid2d:8", "--method", "superfw"]) == 0
+    out = capsys.readouterr().out
+    assert "method: superfw" in out
+    assert "n=64" in out
+    assert "diameter" in out
+
+
+def test_solve_from_file(tmp_path, capsys):
+    path = tmp_path / "g.mtx"
+    write_matrix_market(grid2d(6, 6, seed=0), path)
+    assert main(["solve", str(path), "--method", "dijkstra"]) == 0
+    assert "method: dijkstra" in capsys.readouterr().out
+
+
+def test_solve_writes_npy(tmp_path, capsys):
+    out = tmp_path / "dist.npy"
+    main(["solve", "--generate", "grid2d:6", "--out", str(out)])
+    dist = np.load(out)
+    assert dist.shape == (36, 36)
+    assert np.all(np.diag(dist) == 0)
+
+
+def test_solve_generator_with_args(capsys):
+    assert main(["solve", "--generate", "barabasi_albert:60,3", "--method", "dense-fw"]) == 0
+    assert "n=60" in capsys.readouterr().out
+
+
+def test_info(capsys):
+    assert main(["info", "--generate", "delaunay_mesh:120"]) == 0
+    out = capsys.readouterr().out
+    assert "top separator" in out
+    assert "fill ratio" in out
+
+
+def test_unknown_generator():
+    with pytest.raises(SystemExit):
+        main(["solve", "--generate", "klein_bottle:9"])
+
+
+def test_missing_graph():
+    with pytest.raises(SystemExit):
+        main(["solve"])
+
+
+def test_experiment_runner(capsys):
+    assert main(["experiment", "gemm"]) == 0
+    assert "SemiringGemm" in capsys.readouterr().out
+
+
+def test_experiment_unknown():
+    with pytest.raises(SystemExit):
+        main(["experiment", "fig99"])
+
+
+def test_bench_gemm(capsys):
+    assert main(["bench-gemm", "--sizes", "16,32"]) == 0
+    out = capsys.readouterr().out
+    assert "gops_per_s" in out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_query_generated(capsys):
+    assert main(["query", "0:35", "1:2", "--generate", "grid2d:6"]) == 0
+    out = capsys.readouterr().out
+    assert "dist(0, 35)" in out
+    assert "dist(1, 2)" in out
+    assert "width" in out
+
+
+def test_query_from_file(tmp_path, capsys):
+    path = tmp_path / "g.mtx"
+    write_matrix_market(grid2d(5, 5, seed=0), path)
+    assert main(["query", "0:24", "--graph", str(path)]) == 0
+    assert "dist(0, 24)" in capsys.readouterr().out
+
+
+def test_query_matches_solve(capsys):
+    main(["query", "0:35", "--generate", "grid2d:6", "--seed", "3"])
+    q_out = capsys.readouterr().out
+    import re
+
+    d = float(re.search(r"dist\(0, 35\) = ([\d.]+)", q_out).group(1))
+    from repro import apsp
+    from repro.graphs.generators import grid2d as _grid
+
+    full = apsp(_grid(6, seed=3), method="superfw").dist
+    assert abs(d - full[0, 35]) < 1e-5
+
+
+@pytest.mark.parametrize("bad", ["0-5", "0:99", "a:b"])
+def test_query_rejects_bad_pairs(bad):
+    with pytest.raises(SystemExit):
+        main(["query", bad, "--generate", "grid2d:4"])

@@ -1,0 +1,94 @@
+"""Multilevel coarsening: matching and contraction."""
+
+import numpy as np
+
+from repro.graphs.generators import grid2d
+from repro.ordering.coarsen import (
+    contract,
+    heavy_edge_matching,
+    level_graph_from_csr,
+)
+
+
+def make_level(seed=0):
+    g = grid2d(6, 6, seed=seed)
+    return level_graph_from_csr(g.indptr, g.indices)
+
+
+def test_matching_is_symmetric_and_total():
+    lg = make_level()
+    match = heavy_edge_matching(lg, np.random.default_rng(0))
+    for v in range(lg.n):
+        assert match[v] >= 0
+        assert match[match[v]] == v  # partner points back (self-match ok)
+
+
+def test_matching_pairs_are_adjacent():
+    lg = make_level()
+    match = heavy_edge_matching(lg, np.random.default_rng(1))
+    for v in range(lg.n):
+        u = match[v]
+        if u != v:
+            neigh = lg.indices[lg.indptr[v] : lg.indptr[v + 1]]
+            assert u in neigh
+
+
+def test_matching_prefers_heavy_edges():
+    # A path 0-1-2 with weights 1 and 10: vertex 1 must pair with 2.
+    indptr = np.array([0, 1, 3, 4])
+    indices = np.array([1, 0, 2, 1])
+    lg = level_graph_from_csr(indptr, indices)
+    lg.eweights[:] = [1, 1, 10, 10]
+    rng = np.random.default_rng(4)  # visit order randomized; 1's choice fixed
+    for _ in range(5):
+        match = heavy_edge_matching(lg, rng)
+        if match[1] != 1:
+            assert match[1] == 2 or match[1] == 0
+            if match[1] == 2:
+                break
+    assert match[1] == 2
+
+
+def test_contract_halves_vertices_roughly():
+    lg = make_level()
+    match = heavy_edge_matching(lg, np.random.default_rng(2))
+    coarse, cmap = contract(lg, match)
+    assert coarse.n < lg.n
+    assert coarse.n >= lg.n // 2
+    assert cmap.shape == (lg.n,)
+    assert cmap.max() == coarse.n - 1
+
+
+def test_contract_conserves_vertex_weight():
+    lg = make_level()
+    match = heavy_edge_matching(lg, np.random.default_rng(3))
+    coarse, _ = contract(lg, match)
+    assert coarse.vweights.sum() == lg.vweights.sum()
+
+
+def test_contract_conserves_cut_weight_across_clusters():
+    lg = make_level()
+    match = heavy_edge_matching(lg, np.random.default_rng(5))
+    coarse, cmap = contract(lg, match)
+    # Sum of coarse edge weights equals fine arcs whose endpoints land in
+    # different clusters.
+    rows = np.repeat(np.arange(lg.n), np.diff(lg.indptr))
+    crossing = cmap[rows] != cmap[lg.indices]
+    assert coarse.eweights.sum() == lg.eweights[crossing].sum()
+
+
+def test_contract_no_self_loops():
+    lg = make_level()
+    match = heavy_edge_matching(lg, np.random.default_rng(6))
+    coarse, _ = contract(lg, match)
+    rows = np.repeat(np.arange(coarse.n), np.diff(coarse.indptr))
+    assert np.all(rows != coarse.indices)
+
+
+def test_coarse_graph_is_symmetric():
+    lg = make_level()
+    match = heavy_edge_matching(lg, np.random.default_rng(7))
+    coarse, _ = contract(lg, match)
+    rows = np.repeat(np.arange(coarse.n), np.diff(coarse.indptr))
+    fwd = set(zip(rows.tolist(), coarse.indices.tolist()))
+    assert all((b, a) in fwd for a, b in fwd)

@@ -1,0 +1,66 @@
+"""Connected components."""
+
+import numpy as np
+
+from repro.graphs.components import (
+    connected_components,
+    is_connected,
+    largest_component,
+)
+from repro.graphs.generators import grid2d
+from repro.graphs.graph import Graph
+
+
+def two_triangles():
+    return Graph.from_edges(
+        7,
+        [
+            (0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0),
+            (3, 4, 1.0), (4, 5, 1.0), (3, 5, 1.0),
+        ],
+    )  # vertex 6 isolated
+
+
+def test_counts_components():
+    count, labels = connected_components(two_triangles())
+    assert count == 3
+    assert labels[0] == labels[1] == labels[2]
+    assert labels[3] == labels[4] == labels[5]
+    assert labels[6] not in (labels[0], labels[3])
+
+
+def test_labels_are_dense():
+    count, labels = connected_components(two_triangles())
+    assert set(labels.tolist()) == set(range(count))
+
+
+def test_is_connected():
+    assert is_connected(grid2d(5, 5, seed=0))
+    assert not is_connected(two_triangles())
+    assert is_connected(Graph.from_edges(1, []))
+    assert is_connected(Graph.from_edges(0, []))
+
+
+def test_largest_component():
+    g = Graph.from_edges(
+        6, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (4, 5, 1.0)]
+    )
+    assert np.array_equal(largest_component(g), np.array([0, 1, 2, 3]))
+
+
+def test_largest_component_connected_graph_is_everything():
+    g = grid2d(4, 4, seed=0)
+    assert np.array_equal(largest_component(g), np.arange(16))
+
+
+def test_matches_scipy():
+    from scipy.sparse.csgraph import connected_components as sp_cc
+
+    g = two_triangles()
+    count, labels = connected_components(g)
+    sp_count, sp_labels = sp_cc(g.to_scipy(), directed=False)
+    assert count == sp_count
+    # Same partition up to relabeling.
+    mapping = {}
+    for ours, theirs in zip(labels, sp_labels):
+        assert mapping.setdefault(int(ours), int(theirs)) == int(theirs)

@@ -1,0 +1,120 @@
+"""Dense Floyd-Warshall: paper Fig. 1, oracle agreement, semirings."""
+
+import numpy as np
+import pytest
+
+from repro.core.dense_fw import floyd_warshall, floyd_warshall_inplace
+from repro.core.paths import reconstruct_path_via
+from repro.graphs.graph import Graph
+from repro.semiring import BOOLEAN, MIN_MAX
+
+from conftest import scipy_apsp, toy_graph
+
+
+def test_fig1_exact_matrix():
+    """The worked 6-vertex example of paper Fig. 1."""
+    g = toy_graph()
+    expected = np.array(
+        [
+            [0.0, 0.3, 0.5, 0.5, 0.6, 0.6],
+            [0.3, 0.0, 0.2, 0.2, 0.9, 0.9],
+            [0.5, 0.2, 0.0, 0.4, 1.1, 1.1],
+            [0.5, 0.2, 0.4, 0.0, 1.1, 1.1],
+            [0.6, 0.9, 1.1, 1.1, 0.0, 1.2],
+            [0.6, 0.9, 1.1, 1.1, 1.2, 0.0],
+        ]
+    )
+    assert np.allclose(floyd_warshall(g).dist, expected)
+
+
+def test_fig1_initial_matrix_matches_paper():
+    g = toy_graph()
+    init = g.to_dense_dist()
+    assert init[0, 1] == 0.3 and init[0, 4] == 0.6 and init[0, 5] == 0.6
+    assert np.isinf(init[0, 2]) and np.isinf(init[2, 4])
+
+
+def test_matches_oracle(any_graph):
+    assert np.allclose(floyd_warshall(any_graph).dist, scipy_apsp(any_graph))
+
+
+def test_accepts_dense_matrix_input(grid_graph):
+    dense = grid_graph.to_dense_dist()
+    r = floyd_warshall(dense)
+    assert np.allclose(r.dist, scipy_apsp(grid_graph))
+    # Input must not be mutated.
+    assert np.array_equal(dense, grid_graph.to_dense_dist())
+
+
+def test_negative_cycle_detected():
+    g = Graph.from_edges(3, [(0, 1, -1.0), (1, 2, 3.0)])
+    with pytest.raises(ValueError):
+        floyd_warshall(g)
+
+
+def test_negative_cycle_check_can_be_disabled():
+    g = Graph.from_edges(3, [(0, 1, -1.0), (1, 2, 3.0)])
+    r = floyd_warshall(g, check_negative_cycle=False)
+    assert r.dist[0, 0] < 0  # the certificate of the cycle
+
+
+def test_via_matrix_reconstructs_optimal_paths(grid_graph):
+    r = floyd_warshall(grid_graph, track_via=True)
+    via = r.meta["via"]
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        i, j = rng.integers(0, grid_graph.n, size=2)
+        path = reconstruct_path_via(via, int(i), int(j))
+        assert path[0] == i and path[-1] == j
+        total = sum(
+            grid_graph.neighbor_weights(u)[list(grid_graph.neighbors(u)).index(v)]
+            for u, v in zip(path[:-1], path[1:])
+        )
+        assert np.isclose(total, r.dist[i, j])
+
+
+def test_inplace_returns_op_count():
+    dist = np.full((4, 4), np.inf)
+    np.fill_diagonal(dist, 0.0)
+    assert floyd_warshall_inplace(dist) == 2 * 64
+
+
+def test_inplace_rejects_rectangular():
+    with pytest.raises(ValueError):
+        floyd_warshall_inplace(np.zeros((2, 3)))
+
+
+def test_boolean_semiring_gives_transitive_closure():
+    g = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    reach = np.zeros((4, 4))
+    rows = np.repeat(np.arange(4), np.diff(g.indptr))
+    reach[rows, g.indices] = 1.0
+    np.fill_diagonal(reach, 1.0)
+    r = floyd_warshall(reach, semiring=BOOLEAN)
+    assert r.dist[0, 1] == 1.0 and r.dist[1, 0] == 1.0
+    assert r.dist[0, 2] == 0.0 and r.dist[0, 3] == 0.0
+
+
+def test_minmax_semiring_gives_bottleneck_paths():
+    # Bottleneck (minimax) path: minimize the largest edge on the path.
+    g = Graph.from_edges(
+        4, [(0, 1, 5.0), (1, 3, 5.0), (0, 2, 9.0), (2, 3, 1.0)]
+    )
+    dist = g.to_dense_dist()
+    np.fill_diagonal(dist, MIN_MAX.one)
+    r = floyd_warshall(dist, semiring=MIN_MAX, check_negative_cycle=False)
+    # Route 0-1-3 has bottleneck 5; route 0-2-3 has bottleneck 9.
+    assert r.dist[0, 3] == 5.0
+
+
+def test_disconnected_pairs_stay_infinite():
+    g = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    dist = floyd_warshall(g).dist
+    assert np.isinf(dist[0, 2]) and np.isinf(dist[3, 1])
+
+
+def test_result_metadata(grid_graph):
+    r = floyd_warshall(grid_graph)
+    assert r.method == "dense-fw"
+    assert r.ops.total == 2 * grid_graph.n**3
+    assert r.solve_seconds() > 0

@@ -1,0 +1,150 @@
+"""Elimination tree: Liu's algorithm vs brute force, postorder, levels."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import delaunay_mesh, grid2d
+from repro.graphs.graph import Graph
+from repro.ordering.nested_dissection import nested_dissection
+from repro.symbolic.etree import (
+    elimination_tree,
+    etree_children,
+    etree_levels,
+    is_postordered,
+    postorder,
+)
+
+
+def _brute_force_etree(graph, perm):
+    """parent[j] = min{ i > j : L[i,j] != 0 } via dense symbolic elimination."""
+    n = graph.n
+    gp = graph.permute(perm)
+    filled = np.zeros((n, n), dtype=bool)
+    for v in range(n):
+        filled[v, gp.neighbors(v)] = True
+    for k in range(n):
+        rows = np.flatnonzero(filled[:, k] & (np.arange(n) > k))
+        filled[np.ix_(rows, rows)] = True
+        np.fill_diagonal(filled, False)
+    parent = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        below = np.flatnonzero(filled[j + 1 :, j]) + j + 1
+        if below.size:
+            parent[j] = below[0]
+    return parent
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_etree_matches_brute_force_random(seed):
+    rng = np.random.default_rng(seed)
+    n = 24
+    g = delaunay_mesh(n, seed=seed)
+    perm = rng.permutation(n)
+    # Brute-force parents are defined for any ordering.
+    assert np.array_equal(elimination_tree(g, perm), _brute_force_etree(g, perm))
+
+
+def test_etree_identity_ordering(grid_graph):
+    parent = elimination_tree(grid_graph)
+    assert np.array_equal(parent, _brute_force_etree(grid_graph, np.arange(grid_graph.n)))
+
+
+def test_etree_of_path_graph_is_a_chain():
+    g = Graph.from_edges(5, [(i, i + 1, 1.0) for i in range(4)])
+    parent = elimination_tree(g)
+    assert np.array_equal(parent, np.array([1, 2, 3, 4, -1]))
+
+
+def test_nd_ordering_gives_topological_etree(mesh_graph):
+    nd = nested_dissection(mesh_graph, seed=0)
+    parent = elimination_tree(mesh_graph, nd.perm)
+    assert is_postordered(parent)
+
+
+def test_roots_have_no_parent(grid_graph):
+    parent = elimination_tree(grid_graph)
+    assert np.sum(parent == -1) == 1  # connected graph: single root
+
+
+def test_disconnected_graph_one_root_per_component():
+    g = Graph.from_edges(6, [(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)])
+    parent = elimination_tree(g)
+    assert np.sum(parent == -1) == 3
+
+
+def test_children_inverts_parent(grid_graph):
+    parent = elimination_tree(grid_graph)
+    children = etree_children(parent)
+    for p, kids in enumerate(children):
+        for c in kids:
+            assert parent[c] == p
+
+
+def test_postorder_visits_children_first(grid_graph):
+    parent = elimination_tree(grid_graph)
+    order = postorder(parent)
+    seen = np.zeros(grid_graph.n, dtype=bool)
+    for v in order:
+        for c in etree_children(parent)[v]:
+            assert seen[c]
+        seen[v] = True
+    assert seen.all()
+
+
+def test_levels_leaves_zero_parents_above(grid_graph):
+    parent = elimination_tree(grid_graph)
+    level = etree_levels(parent)
+    children = etree_children(parent)
+    for v in range(grid_graph.n):
+        if not children[v]:
+            assert level[v] == 0
+        else:
+            assert level[v] == 1 + max(level[c] for c in children[v])
+
+
+def test_levels_handle_non_topological_parent():
+    # A valid etree parent array that is not index-increasing.
+    parent = np.array([2, 2, -1])
+    level = etree_levels(parent)
+    assert level[2] == 1 and level[0] == 0 and level[1] == 0
+
+
+def test_etree_rejects_bad_perm(grid_graph):
+    with pytest.raises(ValueError):
+        elimination_tree(grid_graph, np.zeros(grid_graph.n, dtype=int))
+
+
+def test_parents_exceed_children_for_any_ordering(mesh_graph):
+    """Structural fact the whole pipeline rests on: etree parents are
+    higher-numbered than children *by construction*, for every perm."""
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        perm = rng.permutation(mesh_graph.n)
+        assert is_postordered(elimination_tree(mesh_graph, perm))
+
+
+def test_postordering_preserves_fill(mesh_graph):
+    """Relabeling by an etree postorder keeps the fill count (classical)."""
+    from repro.symbolic.fill import symbolic_cholesky
+
+    rng = np.random.default_rng(1)
+    perm = rng.permutation(mesh_graph.n)
+    parent = elimination_tree(mesh_graph, perm)
+    reordered = perm[postorder(parent)]
+    assert (
+        symbolic_cholesky(mesh_graph, reordered).nnz_factor
+        == _count_fill(mesh_graph, perm)
+    )
+
+
+def _count_fill(graph, perm):
+    n = graph.n
+    gp = graph.permute(perm)
+    filled = np.zeros((n, n), dtype=bool)
+    for v in range(n):
+        filled[v, gp.neighbors(v)] = True
+    for k in range(n):
+        rows = np.flatnonzero(filled[:, k] & (np.arange(n) > k))
+        filled[np.ix_(rows, rows)] = True
+        np.fill_diagonal(filled, False)
+    return int(np.tril(filled, -1).sum())

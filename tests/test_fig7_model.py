@@ -1,0 +1,43 @@
+"""Fig. 7 simulation internals (beyond the smoke test in test_experiments)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig7 import DEFAULT_PROCS, _delta_rounds, run_fig7
+from repro.graphs.generators import grid2d
+
+
+def test_default_proc_grid_matches_paper():
+    assert DEFAULT_PROCS == [1, 2, 4, 8, 16, 32, 64]  # the x-axis of Fig. 7
+
+
+def test_delta_rounds_positive_and_uniform():
+    g = grid2d(8, 8, seed=0)
+    rounds = _delta_rounds(g, sample=4, seed=0)
+    assert rounds.shape == (g.n,)
+    assert np.all(rounds > 0)
+    assert np.all(rounds == rounds[0])  # mean extrapolated to all sources
+
+
+def test_custom_procs_respected():
+    curves = run_fig7(
+        size_factor=0.15, names=["wing"], procs=[1, 3, 9], verbose=False
+    )
+    for algo_curves in curves["wing"].values():
+        assert sorted(algo_curves) == [1, 3, 9]
+
+
+def test_all_four_algorithms_present():
+    curves = run_fig7(size_factor=0.15, names=["email-Enron"], verbose=False)
+    assert set(curves["email-Enron"]) == {
+        "superfw",
+        "dijkstra",
+        "boost-dijkstra",
+        "delta-stepping",
+    }
+
+
+def test_speedup_at_p1_is_one():
+    curves = run_fig7(size_factor=0.15, names=["finan512"], verbose=False)
+    for algo, curve in curves["finan512"].items():
+        assert curve[1] == pytest.approx(1.0), algo

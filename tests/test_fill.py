@@ -1,0 +1,108 @@
+"""Symbolic factorization: exact fill against brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import delaunay_mesh, grid2d
+from repro.graphs.graph import Graph
+from repro.ordering.bfs import bfs_ordering
+from repro.ordering.nested_dissection import nested_dissection
+from repro.symbolic.fill import symbolic_cholesky
+
+
+def _brute_force_fill(graph, perm):
+    n = graph.n
+    gp = graph.permute(perm)
+    filled = np.zeros((n, n), dtype=bool)
+    for v in range(n):
+        filled[v, gp.neighbors(v)] = True
+    for k in range(n):
+        rows = np.flatnonzero(filled[:, k] & (np.arange(n) > k))
+        filled[np.ix_(rows, rows)] = True
+        np.fill_diagonal(filled, False)
+    return [np.flatnonzero(filled[j + 1 :, j]) + j + 1 for j in range(n)]
+
+
+@pytest.mark.parametrize("ordering", ["natural", "bfs", "nd"])
+def test_fill_matches_brute_force(ordering, mesh_graph):
+    g = mesh_graph
+    if ordering == "natural":
+        perm = np.arange(g.n)
+    elif ordering == "bfs":
+        perm = bfs_ordering(g).perm
+    else:
+        perm = nested_dissection(g, seed=0).perm
+    sym = symbolic_cholesky(g, perm)
+    brute = _brute_force_fill(g, perm)
+    for j in range(g.n):
+        assert np.array_equal(sym.col_struct[j], brute[j]), f"column {j}"
+
+
+def test_counts_consistent(grid_graph):
+    sym = symbolic_cholesky(grid_graph)
+    assert np.array_equal(
+        sym.col_counts, np.array([len(s) for s in sym.col_struct])
+    )
+    assert sym.nnz_factor == sym.col_counts.sum()
+    assert sym.fill_in == sym.nnz_factor - grid_graph.nnz // 2
+
+
+def test_fill_nonnegative_and_zero_for_chain():
+    # Path graphs never fill under the natural order.
+    g = Graph.from_edges(6, [(i, i + 1, 1.0) for i in range(5)])
+    sym = symbolic_cholesky(g)
+    assert sym.fill_in == 0
+
+
+def test_star_fill_depends_on_hub_position():
+    edges = [(0, i, 1.0) for i in range(1, 6)]
+    g = Graph.from_edges(6, edges)
+    # Hub first: its elimination cliques all leaves — maximal fill.
+    hub_first = symbolic_cholesky(g, np.arange(6)).fill_in
+    # Hub last: leaves eliminate cleanly — zero fill.
+    hub_last = symbolic_cholesky(g, np.array([1, 2, 3, 4, 5, 0])).fill_in
+    assert hub_last == 0
+    assert hub_first == 5 * 4 // 2
+
+
+def test_nd_fill_below_natural_on_mesh():
+    g = grid2d(10, 10, seed=0)
+    nd_fill = symbolic_cholesky(g, nested_dissection(g, seed=0).perm).nnz_factor
+    natural = symbolic_cholesky(g, np.arange(g.n)).nnz_factor
+    assert nd_fill < natural
+
+
+def test_parent_consistent_with_struct(mesh_graph):
+    """parent[j] is the smallest row index in column j's structure."""
+    sym = symbolic_cholesky(mesh_graph, nested_dissection(mesh_graph, seed=0).perm)
+    for j in range(mesh_graph.n):
+        if sym.col_struct[j].size:
+            assert sym.parent[j] == sym.col_struct[j][0]
+        else:
+            assert sym.parent[j] == -1
+
+
+def test_any_permutation_accepted():
+    """Scrambled orderings work: etree parents are always above children."""
+    g = Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+    for perm in ([2, 0, 3, 1], [3, 1, 0, 2], [1, 3, 2, 0]):
+        sym = symbolic_cholesky(g, np.array(perm))
+        brute = _brute_force_fill(g, np.array(perm))
+        for j in range(4):
+            assert np.array_equal(sym.col_struct[j], brute[j])
+
+
+@given(seed=st.integers(0, 10_000), n=st.integers(6, 28))
+@settings(max_examples=25, deadline=None)
+def test_fill_matches_brute_force_hypothesis(seed, n):
+    """Random ER graphs under their ND ordering: exact fill agreement."""
+    from repro.graphs.generators import erdos_renyi
+
+    g = erdos_renyi(n, avg_degree=3.0, seed=seed)
+    perm = nested_dissection(g, leaf_size=4, seed=0).perm
+    sym = symbolic_cholesky(g, perm)
+    brute = _brute_force_fill(g, perm)
+    for j in range(n):
+        assert np.array_equal(sym.col_struct[j], brute[j])

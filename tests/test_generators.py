@@ -1,0 +1,139 @@
+"""Graph generators: structure, connectivity, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.components import is_connected
+
+
+ALL_GENERATORS = {
+    "grid2d": lambda s: gen.grid2d(6, 7, seed=s),
+    "grid2d_torus": lambda s: gen.grid2d(6, 6, periodic=True, seed=s),
+    "grid3d": lambda s: gen.grid3d(4, 4, 4, seed=s),
+    "hypercube": lambda s: gen.hypercube(5, seed=s),
+    "delaunay": lambda s: gen.delaunay_mesh(80, seed=s),
+    "rgg2d": lambda s: gen.random_geometric(100, dim=2, avg_degree=8, seed=s),
+    "rgg3d": lambda s: gen.random_geometric(80, dim=3, avg_degree=10, seed=s),
+    "road": lambda s: gen.road_network_like(120, seed=s),
+    "powergrid": lambda s: gen.power_grid_like(100, seed=s),
+    "ba": lambda s: gen.barabasi_albert(90, 3, seed=s),
+    "er": lambda s: gen.erdos_renyi(90, avg_degree=4, seed=s),
+    "ws": lambda s: gen.watts_strogatz(90, 4, 0.1, seed=s),
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_GENERATORS))
+def test_connected(name):
+    assert is_connected(ALL_GENERATORS[name](0))
+
+
+@pytest.mark.parametrize("name", sorted(ALL_GENERATORS))
+def test_deterministic_given_seed(name):
+    a = ALL_GENERATORS[name](3)
+    b = ALL_GENERATORS[name](3)
+    assert np.array_equal(a.indptr, b.indptr)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.allclose(a.weights, b.weights)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_GENERATORS))
+def test_seed_changes_weights(name):
+    a = ALL_GENERATORS[name](0)
+    b = ALL_GENERATORS[name](1)
+    same_shape = a.weights.shape == b.weights.shape
+    assert not (same_shape and np.allclose(a.weights, b.weights))
+
+
+@pytest.mark.parametrize("name", sorted(ALL_GENERATORS))
+def test_positive_weights(name):
+    g = ALL_GENERATORS[name](0)
+    assert g.weights.min() > 0
+
+
+def test_grid2d_structure():
+    g = gen.grid2d(5, 4, seed=0)
+    assert g.n == 20
+    # Interior degree 4, corner degree 2.
+    degrees = g.degree()
+    assert degrees.max() == 4
+    assert degrees.min() == 2
+    assert g.num_edges == 5 * 3 + 4 * 4  # horizontal + vertical
+
+
+def test_grid2d_torus_is_4_regular():
+    g = gen.grid2d(5, 5, periodic=True, seed=0)
+    assert np.all(g.degree() == 4)
+
+
+def test_grid3d_edge_count():
+    g = gen.grid3d(3, 3, 3, seed=0)
+    assert g.n == 27
+    assert g.num_edges == 3 * (2 * 3 * 3)
+
+
+def test_hypercube_regular():
+    g = gen.hypercube(5, seed=0)
+    assert g.n == 32
+    assert np.all(g.degree() == 5)
+    # Neighbors differ in exactly one bit.
+    for v in range(g.n):
+        for u in g.neighbors(v):
+            x = int(v) ^ int(u)
+            assert x & (x - 1) == 0 and x != 0
+
+
+def test_delaunay_is_planar_sized():
+    g = gen.delaunay_mesh(200, seed=0)
+    # Planar: m <= 3n - 6.
+    assert g.num_edges <= 3 * g.n - 6
+
+
+def test_rgg_degree_targets():
+    g = gen.random_geometric(400, dim=2, avg_degree=8, seed=0)
+    assert 4 <= g.degree().mean() <= 14
+
+
+def test_road_network_sparse():
+    g = gen.road_network_like(300, seed=0)
+    assert g.degree().mean() < 3.5  # near-tree, like OSM extracts
+
+
+def test_power_grid_density():
+    g = gen.power_grid_like(300, extra_edges=0.35, seed=0)
+    assert 2.0 <= g.degree().mean() <= 3.6
+
+
+def test_ba_has_hubs():
+    g = gen.barabasi_albert(300, 3, seed=0)
+    degrees = g.degree()
+    assert degrees.max() > 6 * degrees.mean() / 2  # heavy tail
+
+
+def test_ba_validates_attach():
+    with pytest.raises(ValueError):
+        gen.barabasi_albert(10, 0)
+    with pytest.raises(ValueError):
+        gen.barabasi_albert(5, 5)
+
+
+def test_ws_validates_k():
+    with pytest.raises(ValueError):
+        gen.watts_strogatz(10, 3, 0.1)
+    with pytest.raises(ValueError):
+        gen.watts_strogatz(4, 4, 0.1)
+
+
+def test_ws_no_rewire_is_ring_lattice():
+    g = gen.watts_strogatz(20, 4, 0.0, seed=0)
+    assert np.all(g.degree() == 4)
+
+
+def test_er_average_degree():
+    g = gen.erdos_renyi(500, avg_degree=6, seed=0)
+    assert 4.0 <= g.degree().mean() <= 8.0
+
+
+def test_power_grid_rejects_tiny():
+    with pytest.raises(ValueError):
+        gen.power_grid_like(1)

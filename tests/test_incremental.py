@@ -1,0 +1,125 @@
+"""Incremental APSP maintenance (edge improvements, Carré/SMW style)."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalAPSP, apply_edge_improvement
+from repro.core.superfw import superfw
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+
+def test_rank1_update_matches_recompute(mesh_graph):
+    inc = IncrementalAPSP(mesh_graph, seed=0)
+    edges = mesh_graph.edge_array()
+    u, v, w = int(edges[3, 0]), int(edges[3, 1]), float(edges[3, 2])
+    improved = inc.update_edge(u, v, w / 10)
+    assert improved > 0
+    assert np.allclose(inc.dist, superfw(inc.graph, seed=0).dist)
+
+
+def test_new_edge_fast_path(mesh_graph):
+    inc = IncrementalAPSP(mesh_graph, seed=0)
+    # Find a non-edge between distant vertices.
+    dist0 = inc.dist.copy()
+    far = np.unravel_index(
+        np.argmax(np.where(np.isfinite(dist0), dist0, -1)), dist0.shape
+    )
+    u, v = int(far[0]), int(far[1])
+    assert not mesh_graph.has_edge(u, v)
+    improved = inc.update_edge(u, v, 1e-3)
+    assert improved > 0
+    assert inc.dist[u, v] == pytest.approx(1e-3)
+    assert np.allclose(inc.dist, superfw(inc.graph, seed=0).dist)
+    assert inc.recomputes == 1  # only the constructor solve
+
+
+def test_weight_increase_triggers_recompute(mesh_graph):
+    inc = IncrementalAPSP(mesh_graph, seed=0)
+    edges = mesh_graph.edge_array()
+    u, v, w = int(edges[0, 0]), int(edges[0, 1]), float(edges[0, 2])
+    out = inc.update_edge(u, v, w * 50)
+    assert out == -1
+    assert inc.recomputes == 2
+    assert np.allclose(inc.dist, superfw(inc.graph, seed=0).dist)
+
+
+def test_sequence_of_updates_stays_consistent(mesh_graph):
+    rng = np.random.default_rng(0)
+    inc = IncrementalAPSP(mesh_graph, seed=0)
+    edges = mesh_graph.edge_array()
+    for k in range(5):
+        e = edges[rng.integers(0, edges.shape[0])]
+        inc.update_edge(int(e[0]), int(e[1]), float(e[2]) * 0.5)
+    assert np.allclose(inc.dist, superfw(inc.graph, seed=0).dist)
+    assert inc.fast_updates >= 4  # re-halving an already-halved edge still fast
+
+
+def test_directed_incremental():
+    rng = np.random.default_rng(1)
+    arcs = []
+    for _ in range(200):
+        u, v = rng.integers(0, 60, 2)
+        if u != v:
+            arcs.append((int(u), int(v), float(rng.uniform(0.5, 2.0))))
+    dg = DiGraph.from_edges(60, arcs)
+    inc = IncrementalAPSP(dg, seed=0)
+    a = dg.arc_array()[0]
+    improved = inc.update_edge(int(a[0]), int(a[1]), float(a[2]) / 100)
+    assert improved >= 1
+    assert np.allclose(inc.dist, superfw(inc.graph, seed=0).dist)
+    # Directed update must not improve the reverse direction implicitly.
+    assert isinstance(inc.graph, DiGraph)
+
+
+def test_negative_undirected_rejected(mesh_graph):
+    inc = IncrementalAPSP(mesh_graph, seed=0)
+    with pytest.raises(ValueError):
+        inc.update_edge(0, 1, -1.0)
+
+
+def test_prebuilt_dist_accepted(mesh_graph):
+    dist = superfw(mesh_graph, seed=0).dist
+    inc = IncrementalAPSP(mesh_graph, dist=dist, seed=0)
+    assert inc.recomputes == 0
+    assert inc.distance(0, 1) == pytest.approx(dist[0, 1])
+    with pytest.raises(ValueError):
+        IncrementalAPSP(mesh_graph, dist=np.zeros((2, 2)))
+
+
+def test_apply_edge_improvement_primitive():
+    g = Graph.from_edges(4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+    dist = superfw(g, seed=0).dist.copy()
+    # Shortcut 0-3 with weight 0.5.
+    count = apply_edge_improvement(dist, 0, 3, 0.5)
+    assert count > 0
+    assert dist[0, 3] == 0.5
+    assert dist[1, 3] == 1.5  # 1 -> 0 -> 3 through the shortcut
+    assert dist[3, 1] == 1.5  # symmetric (undirected mode)
+
+
+def test_apply_edge_improvement_directed_only_one_way():
+    dg = DiGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    dist = superfw(dg, seed=0).dist.copy()
+    apply_edge_improvement(dist, 2, 0, 0.1, directed=True)
+    assert dist[2, 0] == pytest.approx(0.1)
+    assert np.isinf(dist[0, 0]) == False
+    # Reverse arc 0->2 unchanged by the directed update beyond real paths.
+    assert dist[0, 2] == pytest.approx(2.0)
+
+
+def test_apply_edge_improvement_validates():
+    dist = np.zeros((3, 3))
+    with pytest.raises(ValueError):
+        apply_edge_improvement(dist, 0, 0, 1.0)
+    with pytest.raises(ValueError):
+        apply_edge_improvement(dist, 0, 5, 1.0)
+    with pytest.raises(ValueError):
+        apply_edge_improvement(np.zeros((2, 3)), 0, 1, 1.0)
+
+
+def test_noop_update_improves_nothing(mesh_graph):
+    inc = IncrementalAPSP(mesh_graph, seed=0)
+    edges = mesh_graph.edge_array()
+    u, v, w = int(edges[0, 0]), int(edges[0, 1]), float(edges[0, 2])
+    assert inc.update_edge(u, v, w) == 0  # same weight: fast path, no change

@@ -1,0 +1,110 @@
+"""Matrix-Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import delaunay_mesh
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_matrix_market, write_matrix_market
+
+
+def test_roundtrip_through_buffer():
+    g = delaunay_mesh(60, seed=0)
+    buf = io.StringIO()
+    write_matrix_market(g, buf)
+    buf.seek(0)
+    g2 = read_matrix_market(buf)
+    assert g2.n == g.n
+    assert np.array_equal(g2.indptr, g.indptr)
+    assert np.array_equal(g2.indices, g.indices)
+    assert np.allclose(g2.weights, g.weights)
+
+
+def test_roundtrip_through_file(tmp_path):
+    g = delaunay_mesh(40, seed=1)
+    path = tmp_path / "graph.mtx"
+    write_matrix_market(g, path)
+    g2 = read_matrix_market(path)
+    assert np.allclose(g2.to_dense_dist(), g.to_dense_dist())
+
+
+def test_pattern_matrices_get_unit_weights():
+    text = """%%MatrixMarket matrix coordinate pattern symmetric
+3 3 2
+2 1
+3 2
+"""
+    g = read_matrix_market(io.StringIO(text))
+    assert g.n == 3
+    assert g.num_edges == 2
+    assert np.all(g.weights == 1.0)
+
+
+def test_diagonal_entries_dropped():
+    text = """%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 5.0
+2 1 1.5
+"""
+    g = read_matrix_market(io.StringIO(text))
+    assert g.num_edges == 1
+
+
+def test_comments_and_blank_lines_skipped():
+    text = """%%MatrixMarket matrix coordinate real symmetric
+% a comment
+
+2 2 1
+2 1 3.0
+"""
+    g = read_matrix_market(io.StringIO(text))
+    assert g.neighbor_weights(0)[0] == 3.0
+
+
+def test_general_symmetrized_by_min():
+    text = """%%MatrixMarket matrix coordinate real general
+2 2 2
+1 2 5.0
+2 1 2.0
+"""
+    g = read_matrix_market(io.StringIO(text))
+    assert g.neighbor_weights(0)[0] == 2.0
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        "not a banner\n1 1 0\n",
+        "%%MatrixMarket matrix array real general\n2 2\n",
+        "%%MatrixMarket matrix coordinate complex symmetric\n1 1 0\n",
+        "%%MatrixMarket matrix coordinate real symmetric\n2 3 0\n",
+        "%%MatrixMarket matrix coordinate real symmetric\n2 2 2\n1 2 1.0\n",
+    ],
+    ids=["empty", "banner", "array", "complex", "nonsquare", "truncated"],
+)
+def test_malformed_inputs_rejected(text):
+    with pytest.raises(ValueError):
+        read_matrix_market(io.StringIO(text))
+
+
+def test_negative_values_stored_absolute():
+    # SuiteSparse matrices carry signed numerics; as adjacency we take |w|
+    # (the paper likewise rewrites weights positive, §5.1.3).
+    text = """%%MatrixMarket matrix coordinate real symmetric
+2 2 1
+2 1 -4.0
+"""
+    g = read_matrix_market(io.StringIO(text))
+    assert g.neighbor_weights(0)[0] == 4.0
+
+
+def test_write_includes_banner_and_counts():
+    g = Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 2.0)])
+    buf = io.StringIO()
+    write_matrix_market(g, buf)
+    lines = buf.getvalue().splitlines()
+    assert lines[0].startswith("%%MatrixMarket matrix coordinate real symmetric")
+    assert "3 3 2" in lines[2]

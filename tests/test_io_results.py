@@ -1,0 +1,75 @@
+"""Result persistence (.npz) and the float32 solve option."""
+
+import numpy as np
+import pytest
+
+from repro.core.superfw import superfw
+from repro.graphs.digraph import DiGraph
+from repro.graphs.io import load_distances, save_distances
+from repro.graphs.generators import delaunay_mesh
+
+
+def test_save_load_roundtrip(tmp_path, mesh_graph):
+    result = superfw(mesh_graph, seed=0)
+    path = tmp_path / "apsp.npz"
+    save_distances(path, mesh_graph, result.dist, method="superfw")
+    graph, dist, method = load_distances(path)
+    assert method == "superfw"
+    assert np.array_equal(dist, result.dist)
+    assert np.array_equal(graph.indptr, mesh_graph.indptr)
+
+
+def test_load_validates_certificate(tmp_path, mesh_graph):
+    result = superfw(mesh_graph, seed=0)
+    bad = result.dist.copy()
+    bad[1, 2] = bad[2, 1] = 1e-9  # impossible shortcut
+    path = tmp_path / "bad.npz"
+    save_distances(path, mesh_graph, bad)
+    with pytest.raises(AssertionError):
+        load_distances(path)
+    graph, dist, _ = load_distances(path, validate=False)
+    assert dist[1, 2] == 1e-9
+
+
+def test_save_load_directed(tmp_path):
+    rng = np.random.default_rng(0)
+    arcs = [
+        (int(u), int(v), float(rng.uniform(0.5, 2)))
+        for u, v in rng.integers(0, 40, (150, 2))
+        if u != v
+    ]
+    dg = DiGraph.from_edges(40, arcs)
+    result = superfw(dg, seed=0)
+    path = tmp_path / "directed.npz"
+    save_distances(path, dg, result.dist, method="superfw")
+    graph, dist, _ = load_distances(path)
+    assert isinstance(graph, DiGraph)
+    assert np.array_equal(dist, result.dist)
+
+
+# ----------------------------------------------------------------------
+# float32 solves
+# ----------------------------------------------------------------------
+def test_float32_solve_matches_double(mesh_graph):
+    d64 = superfw(mesh_graph, seed=0).dist
+    r32 = superfw(mesh_graph, seed=0, dtype=np.float32)
+    assert r32.dist.dtype == np.float32
+    finite = np.isfinite(d64)
+    assert np.allclose(r32.dist[finite], d64[finite], rtol=1e-5)
+    assert np.array_equal(np.isinf(r32.dist), np.isinf(d64))
+
+
+def test_float32_halves_memory(mesh_graph):
+    r32 = superfw(mesh_graph, seed=0, dtype=np.float32)
+    r64 = superfw(mesh_graph, seed=0)
+    assert r32.dist.nbytes * 2 == r64.dist.nbytes
+
+
+def test_float32_roundtrip_through_npz(tmp_path):
+    g = delaunay_mesh(80, seed=2)
+    r32 = superfw(g, seed=0, dtype=np.float32)
+    path = tmp_path / "f32.npz"
+    save_distances(path, g, r32.dist, method="superfw-f32")
+    _, dist, method = load_distances(path)
+    assert dist.dtype == np.float32
+    assert method == "superfw-f32"

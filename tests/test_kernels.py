@@ -1,0 +1,119 @@
+"""Blocked FW kernels (diag/panel/outer) against scalar references."""
+
+import numpy as np
+import pytest
+
+from repro.semiring.kernels import (
+    diag_update,
+    floyd_warshall_kernel,
+    outer_update,
+    panel_update_cols,
+    panel_update_rows,
+)
+from repro.semiring.minplus import minplus_inner
+
+
+def _rand(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    out = rng.uniform(0.1, 2.0, size=shape)
+    out[rng.uniform(size=shape) < 0.3] = np.inf
+    return out
+
+
+def _scalar_fw(dist):
+    n = dist.shape[0]
+    out = dist.copy()
+    for k in range(n):
+        for i in range(n):
+            for j in range(n):
+                out[i, j] = min(out[i, j], out[i, k] + out[k, j])
+    return out
+
+
+@pytest.mark.parametrize("n", [1, 2, 5, 9])
+def test_fw_kernel_matches_scalar(n):
+    dist = _rand((n, n), seed=n)
+    np.fill_diagonal(dist, 0.0)
+    expect = _scalar_fw(dist)
+    ops = floyd_warshall_kernel(dist)
+    assert ops == 2 * n**3
+    assert np.allclose(dist, expect)
+
+
+def test_fw_kernel_rejects_rectangular():
+    with pytest.raises(ValueError):
+        floyd_warshall_kernel(np.zeros((2, 3)))
+
+
+def test_diag_update_is_alias():
+    a = _rand((4, 4), seed=3)
+    b = a.copy()
+    diag_update(a)
+    floyd_warshall_kernel(b)
+    assert np.array_equal(a, b)
+
+
+def test_panel_update_rows_semantics():
+    """A(k,:) <- A(k,:) ⊕ A(k,k) ⊗ A(k,:)."""
+    diag = _rand((3, 3), seed=4)
+    panel = _rand((3, 5), seed=5)
+    expect = np.minimum(panel, minplus_inner(diag, panel))
+    ops = panel_update_rows(panel, diag)
+    assert ops == 2 * 3 * 3 * 5
+    assert np.allclose(panel, expect)
+
+
+def test_panel_update_cols_semantics():
+    """A(:,k) <- A(:,k) ⊕ A(:,k) ⊗ A(k,k)."""
+    diag = _rand((3, 3), seed=6)
+    panel = _rand((5, 3), seed=7)
+    expect = np.minimum(panel, minplus_inner(panel, diag))
+    ops = panel_update_cols(panel, diag)
+    assert ops == 2 * 3 * 3 * 5
+    assert np.allclose(panel, expect)
+
+
+def test_panel_shape_validation():
+    with pytest.raises(ValueError):
+        panel_update_rows(np.zeros((2, 4)), np.zeros((3, 3)))
+    with pytest.raises(ValueError):
+        panel_update_cols(np.zeros((4, 2)), np.zeros((3, 3)))
+
+
+def test_outer_update_semantics():
+    """A(i,j) <- A(i,j) ⊕ A(i,k) ⊗ A(k,j) — the Schur analogue."""
+    col = _rand((4, 2), seed=8)
+    row = _rand((2, 5), seed=9)
+    trailing = _rand((4, 5), seed=10)
+    expect = np.minimum(trailing, minplus_inner(col, row))
+    ops = outer_update(trailing, col, row)
+    assert ops == 2 * 4 * 2 * 5
+    assert np.allclose(trailing, expect)
+
+
+def test_outer_update_shape_validation():
+    with pytest.raises(ValueError):
+        outer_update(np.zeros((4, 5)), np.zeros((4, 2)), np.zeros((3, 5)))
+
+
+def test_outer_update_accumulates_not_overwrites():
+    col = np.full((2, 1), np.inf)
+    row = np.full((1, 2), np.inf)
+    trailing = np.array([[1.0, 2.0], [3.0, 4.0]])
+    before = trailing.copy()
+    outer_update(trailing, col, row)
+    assert np.array_equal(trailing, before)
+
+
+def test_kernels_accept_generic_semiring():
+    """The kernel applies any semiring's ⊕/⊗ exactly like the scalar loops."""
+    from repro.semiring import MAX_PLUS
+
+    rng = np.random.default_rng(13)
+    dist = rng.uniform(0, 1, size=(4, 4))
+    expect = dist.copy()
+    for k in range(4):
+        cand = expect[:, k : k + 1] + expect[k, :]
+        expect = np.maximum(expect, cand)
+    floyd_warshall_kernel(dist, MAX_PLUS)
+    assert np.allclose(dist, expect)

@@ -1,0 +1,124 @@
+"""Min-plus GEMM kernels against the broadcast oracle + hypothesis laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.semiring import BOOLEAN, MAX_PLUS, MIN_PLUS
+from repro.semiring.minplus import (
+    minplus_gemm,
+    minplus_gemm_flops,
+    minplus_inner,
+    semiring_gemm,
+)
+
+
+def _rand(shape, seed=0, inf_frac=0.3):
+    rng = np.random.default_rng(seed)
+    out = rng.uniform(0.1, 5.0, size=shape)
+    out[rng.uniform(size=shape) < inf_frac] = np.inf
+    return out
+
+
+@pytest.mark.parametrize("m,k,n", [(1, 1, 1), (3, 4, 5), (8, 2, 8), (5, 9, 1)])
+def test_gemm_matches_oracle(m, k, n):
+    a = _rand((m, k), seed=m * 100 + k)
+    b = _rand((k, n), seed=n * 100 + k)
+    assert np.array_equal(minplus_gemm(a, b), minplus_inner(a, b))
+
+
+def test_gemm_accumulate_takes_min_with_existing():
+    a = _rand((4, 3), seed=1)
+    b = _rand((3, 4), seed=2)
+    existing = _rand((4, 4), seed=3, inf_frac=0.0)
+    out = existing.copy()
+    minplus_gemm(a, b, out=out, accumulate=True)
+    assert np.array_equal(out, np.minimum(existing, minplus_inner(a, b)))
+
+
+def test_gemm_overwrite_ignores_existing():
+    a = _rand((4, 3), seed=1)
+    b = _rand((3, 4), seed=2)
+    out = np.zeros((4, 4))
+    minplus_gemm(a, b, out=out, accumulate=False)
+    assert np.array_equal(out, minplus_inner(a, b))
+
+
+def test_gemm_empty_contraction_is_all_inf():
+    out = minplus_gemm(np.empty((3, 0)), np.empty((0, 2)))
+    assert out.shape == (3, 2)
+    assert np.all(np.isinf(out))
+
+
+def test_gemm_shape_errors():
+    with pytest.raises(ValueError):
+        minplus_gemm(np.zeros((2, 3)), np.zeros((2, 3)))
+    with pytest.raises(ValueError):
+        minplus_gemm(np.zeros((2, 3)), np.zeros((3, 2)), out=np.zeros((3, 3)))
+
+
+def test_gemm_infinity_propagates():
+    a = np.array([[np.inf, np.inf]])
+    b = np.array([[1.0], [2.0]])
+    assert np.isinf(minplus_gemm(a, b)[0, 0])
+
+
+def test_flops_formula():
+    assert minplus_gemm_flops(2, 3, 4) == 2 * 2 * 3 * 4
+
+
+def test_identity_matrix_is_neutral():
+    a = _rand((5, 5), seed=7)
+    eye = MIN_PLUS.eye(5)
+    assert np.array_equal(minplus_gemm(a, eye), a)
+    assert np.array_equal(minplus_gemm(eye, a), a)
+
+
+@pytest.mark.parametrize("sr", [MAX_PLUS, BOOLEAN], ids=["max-plus", "boolean"])
+def test_semiring_gemm_generic(sr):
+    rng = np.random.default_rng(9)
+    a = rng.integers(0, 2, size=(4, 3)).astype(float)
+    b = rng.integers(0, 2, size=(3, 4)).astype(float)
+    got = semiring_gemm(sr, a, b)
+    expect = sr.zeros((4, 4))
+    for i in range(4):
+        for j in range(4):
+            acc = sr.zero
+            for t in range(3):
+                acc = sr.add(acc, sr.mul(a[i, t], b[t, j]))
+            expect[i, j] = acc
+    assert np.array_equal(got, expect)
+
+
+def test_semiring_gemm_dispatches_minplus():
+    a = _rand((3, 3), seed=11)
+    b = _rand((3, 3), seed=12)
+    assert np.array_equal(semiring_gemm(MIN_PLUS, a, b), minplus_gemm(a, b))
+
+
+finite_mats = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    elements=st.floats(0, 100, allow_nan=False),
+)
+
+
+@given(a=finite_mats, b=finite_mats, c=finite_mats)
+@settings(max_examples=60, deadline=None)
+def test_gemm_associative(a, b, c):
+    """(A⊗B)⊗C == A⊗(B⊗C) whenever shapes chain."""
+    k1 = min(a.shape[1], b.shape[0])
+    k2 = min(b.shape[1], c.shape[0])
+    a, b, c = a[:, :k1], b[:k1, :k2], c[:k2, :]
+    lhs = minplus_gemm(minplus_gemm(a, b), c)
+    rhs = minplus_gemm(a, minplus_gemm(b, c))
+    assert np.allclose(lhs, rhs)
+
+
+@given(a=finite_mats)
+@settings(max_examples=40, deadline=None)
+def test_gemm_with_eye_idempotent(a):
+    eye = MIN_PLUS.eye(a.shape[1])
+    assert np.allclose(minplus_gemm(a, eye), a)

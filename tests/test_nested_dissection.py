@@ -1,0 +1,134 @@
+"""Nested dissection: permutation validity, tree structure, separator sizes."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    barabasi_albert,
+    delaunay_mesh,
+    grid2d,
+    power_grid_like,
+)
+from repro.graphs.graph import Graph
+from repro.ordering.nested_dissection import nested_dissection
+from repro.util.perm import check_permutation
+
+
+def test_perm_is_valid(any_graph):
+    nd = nested_dissection(any_graph, seed=0)
+    check_permutation(nd.perm, any_graph.n)
+
+
+def test_tree_ranges_partition_the_ordering():
+    g = grid2d(12, 12, seed=0)
+    nd = nested_dissection(g, leaf_size=10, seed=0)
+
+    def visit(node):
+        if node.is_leaf:
+            assert node.sep_size == node.size
+            return
+        pos = node.lo
+        for child in node.children:
+            assert child.lo == pos
+            pos = child.hi
+            visit(child)
+        assert pos + node.sep_size == node.hi
+
+    visit(nd.tree)
+    assert nd.tree.lo == 0 and nd.tree.hi == g.n
+
+
+def test_separator_positions_are_last():
+    """Separator vertices get the highest indices of their subtree range."""
+    g = grid2d(10, 10, seed=0)
+    nd = nested_dissection(g, leaf_size=8, seed=0)
+    node = nd.tree
+    assert not node.is_leaf
+    sep_positions = range(node.hi - node.sep_size, node.hi)
+    sep_vertices = nd.perm[list(sep_positions)]
+    # Removing those vertices must disconnect the two children ranges.
+    left = set(nd.perm[node.children[0].lo : node.children[0].hi].tolist())
+    right = set(nd.perm[node.children[1].lo : node.children[1].hi].tolist())
+    sep = set(sep_vertices.tolist())
+    for u, v, _ in g.edge_array():
+        u, v = int(u), int(v)
+        if u in sep or v in sep:
+            continue
+        assert not (u in left and v in right)
+        assert not (u in right and v in left)
+
+
+def test_grid_top_separator_near_optimal():
+    g = grid2d(16, 16, seed=0)
+    nd = nested_dissection(g, seed=0)
+    assert nd.top_separator_size <= 2 * 16  # optimal is 16
+
+
+def test_separator_growth_matches_planarity():
+    """S(n) for grids should grow like sqrt(n), not linearly."""
+    sizes = {}
+    for side in (8, 16):
+        nd = nested_dissection(grid2d(side, side, seed=0), seed=0)
+        sizes[side] = nd.top_separator_size
+    assert sizes[16] <= 3.5 * sizes[8]  # sqrt(4x) = 2x, with slack
+
+
+def test_expander_degenerates_gracefully():
+    g = barabasi_albert(200, 8, seed=0)
+    nd = nested_dissection(g, seed=0)
+    check_permutation(nd.perm, g.n)
+    # Bad separators expected: n/|S| close to 1.
+    assert nd.top_separator_size > g.n // 10
+
+
+def test_leaf_size_respected():
+    g = delaunay_mesh(300, seed=1)
+    nd = nested_dissection(g, leaf_size=16, seed=0)
+    for node in nd.tree.iter_nodes():
+        if node.is_leaf:
+            assert node.size <= max(16, nd.top_separator_size)
+
+
+def test_disconnected_graph_handled():
+    g = Graph.from_edges(
+        8,
+        [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (4, 5, 1.0), (5, 6, 1.0), (6, 7, 1.0)],
+    )
+    nd = nested_dissection(g, leaf_size=2, seed=0)
+    check_permutation(nd.perm, 8)
+
+
+def test_deterministic():
+    g = power_grid_like(200, seed=3)
+    a = nested_dissection(g, seed=7)
+    b = nested_dissection(g, seed=7)
+    assert np.array_equal(a.perm, b.perm)
+
+
+def test_separator_sizes_by_level_shape():
+    g = grid2d(12, 12, seed=0)
+    nd = nested_dissection(g, leaf_size=8, seed=0)
+    levels = nd.separator_sizes_by_level()
+    assert len(levels) == nd.tree.height() + 1
+    assert levels[0] == [nd.tree.sep_size]
+    # Deeper separators are smaller on planar graphs (on average).
+    assert np.mean(levels[-2]) <= nd.tree.sep_size if len(levels) > 2 else True
+
+
+def test_stats_recorded():
+    g = grid2d(8, 8, seed=0)
+    nd = nested_dissection(g, leaf_size=8, seed=0)
+    assert nd.ordering.method == "nd"
+    assert nd.ordering.stats["tree_height"] == nd.tree.height()
+
+
+def test_custom_bisector_used():
+    calls = []
+
+    def silly_bisector(sub, ids):
+        calls.append(len(ids))
+        return (np.arange(sub.n) >= sub.n // 2).astype(np.int8)
+
+    g = grid2d(8, 8, seed=0)
+    nested_dissection(g, leaf_size=8, seed=0, bisector=silly_bisector)
+    assert calls and calls[0] == 64

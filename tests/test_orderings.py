@@ -1,0 +1,120 @@
+"""BFS, RCM, minimum-degree, and geometric orderings."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import delaunay_mesh, grid2d
+from repro.graphs.graph import Graph
+from repro.ordering.amd import minimum_degree_ordering
+from repro.ordering.base import Ordering
+from repro.ordering.bfs import bfs_ordering, rcm_ordering
+from repro.ordering.geometric import geometric_nested_dissection
+from repro.symbolic.fill import symbolic_cholesky
+from repro.util.perm import check_permutation
+
+
+def test_ordering_dataclass_validates():
+    with pytest.raises(ValueError):
+        Ordering(perm=np.array([0, 0, 1]))
+    o = Ordering(perm=np.array([2, 0, 1]), method="x")
+    assert o.n == 3
+    assert np.array_equal(o.iperm[o.perm], np.arange(3))
+    assert not o.identity_like()
+    assert Ordering(perm=np.arange(4)).identity_like()
+
+
+def test_bfs_order_is_discovery_order():
+    # Path graph: BFS from 0 discovers vertices in index order.
+    g = Graph.from_edges(5, [(i, i + 1, 1.0) for i in range(4)])
+    o = bfs_ordering(g)
+    assert np.array_equal(o.perm, np.arange(5))
+    assert o.method == "bfs"
+
+
+def test_bfs_covers_disconnected():
+    g = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    check_permutation(bfs_ordering(g).perm, 4)
+
+
+def test_bfs_start_vertex():
+    g = Graph.from_edges(5, [(i, i + 1, 1.0) for i in range(4)])
+    o = bfs_ordering(g, start=4)
+    assert o.perm[0] == 4
+
+
+def _bandwidth(graph, perm):
+    iperm = np.empty(graph.n, dtype=np.int64)
+    iperm[perm] = np.arange(graph.n)
+    edges = graph.edge_array()
+    return int(np.abs(iperm[edges[:, 0].astype(int)] - iperm[edges[:, 1].astype(int)]).max())
+
+
+def test_rcm_reduces_bandwidth():
+    rng = np.random.default_rng(0)
+    shuffled = grid2d(8, 8, seed=0).permute(rng.permutation(64))
+    natural_bw = _bandwidth(shuffled, np.arange(64))
+    rcm_bw = _bandwidth(shuffled, rcm_ordering(shuffled).perm)
+    assert rcm_bw < natural_bw
+
+
+def test_rcm_matches_scipy_quality():
+    from scipy.sparse.csgraph import reverse_cuthill_mckee
+
+    g = delaunay_mesh(150, seed=0)
+    ours = _bandwidth(g, rcm_ordering(g).perm)
+    theirs = _bandwidth(g, np.asarray(reverse_cuthill_mckee(g.to_scipy().astype(bool))))
+    assert ours <= 2.0 * theirs  # same ballpark
+
+
+def test_rcm_empty_graph():
+    assert rcm_ordering(Graph.from_edges(0, [])).perm.size == 0
+
+
+def test_minimum_degree_valid_perm(any_graph):
+    o = minimum_degree_ordering(any_graph)
+    check_permutation(o.perm, any_graph.n)
+    assert o.method == "mmd"
+
+
+def test_minimum_degree_reduces_fill_vs_worst_case():
+    g = grid2d(8, 8, seed=0)
+    # Adversarial ordering: reverse-RCM-shuffled.
+    rng = np.random.default_rng(1)
+    bad = rng.permutation(64)
+    fill_bad = symbolic_cholesky(g, bad).fill_in
+    fill_mmd = symbolic_cholesky(g, minimum_degree_ordering(g).perm).fill_in
+    assert fill_mmd < fill_bad
+
+
+def test_minimum_degree_on_star_eliminates_leaves_first():
+    g = Graph.from_edges(5, [(0, i, 1.0) for i in range(1, 5)])
+    o = minimum_degree_ordering(g)
+    # The hub never goes first: leaves (degree 1) always win the heap.
+    assert o.perm[0] != 0
+    # Once only the hub and one leaf remain both have degree 1, so the hub
+    # may be either of the last two positions.
+    assert 0 in o.perm[-2:]
+
+
+def test_geometric_nd_on_grid():
+    side = 10
+    g = grid2d(side, side, seed=0)
+    xs, ys = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    points = np.column_stack([xs.ravel(), ys.ravel()]).astype(float)
+    nd = geometric_nested_dissection(g, points, leaf_size=8)
+    check_permutation(nd.perm, g.n)
+    assert nd.top_separator_size <= 2 * side
+
+
+def test_geometric_nd_rejects_bad_points():
+    g = grid2d(4, 4, seed=0)
+    with pytest.raises(ValueError):
+        geometric_nested_dissection(g, np.zeros((3, 2)))
+
+
+def test_geometric_nd_constant_coordinates():
+    # Degenerate coordinates: median split must still halve the set.
+    g = grid2d(4, 4, seed=0)
+    points = np.zeros((16, 2))
+    nd = geometric_nested_dissection(g, points, leaf_size=4)
+    check_permutation(nd.perm, 16)

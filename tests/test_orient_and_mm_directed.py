@@ -1,0 +1,98 @@
+"""orient_randomly helper and directed Matrix-Market reading."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.graphs.digraph import DiGraph, orient_randomly
+from repro.graphs.generators import delaunay_mesh
+from repro.graphs.graph import Graph
+from repro.graphs.io import read_matrix_market, write_matrix_market
+
+
+def test_orient_all_twoway_preserves_forward_weights():
+    g = delaunay_mesh(60, seed=0)
+    dg = orient_randomly(g, oneway_fraction=0.0, asymmetry=1.0, seed=0)
+    # With no one-ways and no asymmetry, the digraph equals the graph.
+    assert np.allclose(dg.to_dense_dist(), g.to_dense_dist())
+
+
+def test_orient_all_oneway_halves_arcs():
+    g = delaunay_mesh(60, seed=1)
+    dg = orient_randomly(g, oneway_fraction=1.0, seed=0)
+    assert dg.num_arcs == g.num_edges
+
+
+def test_orient_mixed_counts():
+    g = delaunay_mesh(80, seed=2)
+    dg = orient_randomly(g, oneway_fraction=0.5, seed=3)
+    assert g.num_edges < dg.num_arcs < 2 * g.num_edges
+
+
+def test_orient_asymmetry_bounds():
+    g = delaunay_mesh(40, seed=3)
+    dg = orient_randomly(g, oneway_fraction=0.0, asymmetry=2.0, seed=0)
+    fwd = g.to_dense_dist()
+    rev = dg.to_dense_dist()
+    finite = np.isfinite(fwd) & ~np.eye(g.n, dtype=bool)
+    assert np.all(rev[finite] <= 2.0 * fwd[finite] + 1e-12)
+    assert np.all(rev[finite] >= np.minimum(fwd[finite], fwd.T[finite]) - 1e-12)
+
+
+def test_orient_validates_fraction():
+    g = delaunay_mesh(20, seed=0)
+    with pytest.raises(ValueError):
+        orient_randomly(g, oneway_fraction=1.5)
+
+
+def test_orient_deterministic():
+    g = delaunay_mesh(50, seed=4)
+    a = orient_randomly(g, seed=9)
+    b = orient_randomly(g, seed=9)
+    assert np.array_equal(a.indices, b.indices)
+    assert np.allclose(a.weights, b.weights)
+
+
+def test_oriented_apsp_at_least_undirected():
+    """Removing direction options can only lengthen shortest paths."""
+    from repro.core.superfw import superfw
+
+    g = delaunay_mesh(70, seed=5)
+    dg = orient_randomly(g, oneway_fraction=0.4, seed=1)
+    und = superfw(g, seed=0).dist
+    dire = superfw(dg, seed=0).dist
+    finite = np.isfinite(dire)
+    assert np.all(dire[finite] >= und[finite] - 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Directed Matrix-Market
+# ----------------------------------------------------------------------
+def test_read_general_as_digraph():
+    text = """%%MatrixMarket matrix coordinate real general
+3 3 2
+1 2 1.5
+3 1 2.5
+"""
+    dg = read_matrix_market(io.StringIO(text), directed=True)
+    assert isinstance(dg, DiGraph)
+    assert dg.has_edge(0, 1) and not dg.has_edge(1, 0)
+    assert dg.has_edge(2, 0)
+
+
+def test_read_symmetric_as_digraph_mirrors():
+    text = """%%MatrixMarket matrix coordinate real symmetric
+2 2 1
+2 1 3.0
+"""
+    dg = read_matrix_market(io.StringIO(text), directed=True)
+    assert dg.has_edge(0, 1) and dg.has_edge(1, 0)
+    assert dg.num_arcs == 2
+
+
+def test_undirected_roundtrip_still_default(tmp_path):
+    g = delaunay_mesh(30, seed=6)
+    path = tmp_path / "u.mtx"
+    write_matrix_market(g, path)
+    assert isinstance(read_matrix_market(path), Graph)

@@ -1,0 +1,90 @@
+"""FM refinement and multilevel bisection."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import delaunay_mesh, grid2d, power_grid_like
+from repro.ordering.coarsen import level_graph_from_csr
+from repro.ordering.partition import bisect_graph
+from repro.ordering.refine import cut_weight, fm_refine
+
+
+def _level(graph):
+    return level_graph_from_csr(graph.indptr, graph.indices)
+
+
+def test_cut_weight_counts_each_edge_once():
+    g = grid2d(4, 4, seed=0)
+    lg = _level(g)
+    side = (np.arange(16) % 4 >= 2).astype(np.int8)  # split columns 0-1 / 2-3
+    assert cut_weight(lg, side) == 4
+
+
+def test_fm_never_worsens_cut():
+    g = delaunay_mesh(120, seed=0)
+    lg = _level(g)
+    rng = np.random.default_rng(0)
+    for trial in range(3):
+        side = (rng.uniform(size=g.n) < 0.5).astype(np.int8)
+        before = cut_weight(lg, side)
+        after = cut_weight(lg, fm_refine(lg, side))
+        assert after <= before
+
+
+def test_fm_improves_random_cut_substantially():
+    g = grid2d(10, 10, seed=0)
+    lg = _level(g)
+    side = (np.random.default_rng(1).uniform(size=g.n) < 0.5).astype(np.int8)
+    refined = fm_refine(lg, side)
+    assert cut_weight(lg, refined) < cut_weight(lg, side) * 0.6
+
+
+def test_fm_respects_balance():
+    g = grid2d(8, 8, seed=0)
+    lg = _level(g)
+    side = (np.random.default_rng(2).uniform(size=g.n) < 0.5).astype(np.int8)
+    refined = fm_refine(lg, side, balance_tol=0.1)
+    frac = refined.mean()
+    assert 0.4 - 1.0 / g.n <= frac <= 0.6 + 1.0 / g.n
+
+
+def test_fm_does_not_mutate_input():
+    g = grid2d(5, 5, seed=0)
+    lg = _level(g)
+    side = np.zeros(g.n, dtype=np.int8)
+    side[: g.n // 2] = 1
+    snapshot = side.copy()
+    fm_refine(lg, side)
+    assert np.array_equal(side, snapshot)
+
+
+@pytest.mark.parametrize("builder,seed", [
+    (lambda: grid2d(12, 12, seed=0), 0),
+    (lambda: delaunay_mesh(250, seed=1), 1),
+    (lambda: power_grid_like(250, seed=2), 2),
+])
+def test_bisect_balance_and_cut(builder, seed):
+    g = builder()
+    side = bisect_graph(g, balance_tol=0.1, seed=seed)
+    assert side.shape == (g.n,)
+    assert set(np.unique(side)) <= {0, 1}
+    frac = side.mean()
+    assert 0.35 <= frac <= 0.65
+    lg = _level(g)
+    # The cut should be far below a random split's expectation (~m/2).
+    assert cut_weight(lg, side) < g.num_edges // 4
+
+
+def test_bisect_grid_cut_near_optimal():
+    g = grid2d(16, 16, seed=0)
+    side = bisect_graph(g, seed=0)
+    lg = _level(g)
+    # Optimal bisection of a 16x16 grid cuts 16 edges; allow 3x slack.
+    assert cut_weight(lg, side) <= 48
+
+
+def test_bisect_deterministic():
+    g = delaunay_mesh(150, seed=3)
+    a = bisect_graph(g, seed=5)
+    b = bisect_graph(g, seed=5)
+    assert np.array_equal(a, b)

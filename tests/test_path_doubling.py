@@ -1,0 +1,72 @@
+"""Path doubling (repeated min-plus squaring; Table 2's parallel row)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dense_fw import floyd_warshall
+from repro.core.path_doubling import path_doubling
+from repro.graphs.graph import Graph
+
+from conftest import scipy_apsp
+
+
+def test_matches_oracle(any_graph):
+    r = path_doubling(any_graph)
+    assert np.allclose(r.dist, scipy_apsp(any_graph))
+
+
+def test_round_count_logarithmic(grid_graph):
+    r = path_doubling(grid_graph)
+    n = grid_graph.n
+    assert 1 <= r.meta["rounds"] <= int(np.ceil(np.log2(n - 1)))
+
+
+def test_early_convergence_on_dense_graph():
+    # A complete graph converges after one squaring (diameter 1-2 hops).
+    n = 12
+    rng = np.random.default_rng(0)
+    dense = rng.uniform(1.0, 2.0, size=(n, n))
+    dense = np.minimum(dense, dense.T)
+    np.fill_diagonal(dense, np.inf)
+    g = Graph.from_dense(dense)
+    r = path_doubling(g)
+    assert r.meta["rounds"] <= 2
+    assert np.allclose(r.dist, floyd_warshall(g).dist)
+
+
+def test_path_graph_needs_all_rounds():
+    # A path of length n-1 needs ~log2(n-1) doublings.
+    n = 33
+    g = Graph.from_edges(n, [(i, i + 1, 1.0) for i in range(n - 1)])
+    r = path_doubling(g)
+    assert r.meta["rounds"] == int(np.ceil(np.log2(n - 1)))
+    assert r.dist[0, n - 1] == n - 1
+
+
+def test_accepts_dense_input(grid_graph):
+    r = path_doubling(grid_graph.to_dense_dist())
+    assert np.allclose(r.dist, scipy_apsp(grid_graph))
+
+
+def test_negative_cycle_detected():
+    g = Graph.from_edges(3, [(0, 1, -1.0), (1, 2, 1.0)])
+    with pytest.raises(ValueError):
+        path_doubling(g)
+
+
+def test_ops_counted(grid_graph):
+    r = path_doubling(grid_graph)
+    assert r.ops.total == r.meta["rounds"] * 2 * grid_graph.n**3
+
+
+def test_rejects_rectangular():
+    with pytest.raises(ValueError):
+        path_doubling(np.zeros((2, 3)))
+
+
+def test_api_route(grid_graph):
+    from repro import apsp
+
+    r = apsp(grid_graph, method="path-doubling")
+    assert r.method == "path-doubling"
+    assert np.allclose(r.dist, scipy_apsp(grid_graph))

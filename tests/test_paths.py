@@ -1,0 +1,90 @@
+"""Path reconstruction: PathOracle and via matrices."""
+
+import numpy as np
+import pytest
+
+from repro.core.dense_fw import floyd_warshall
+from repro.core.paths import PathOracle
+from repro.core.superfw import superfw
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def oracle(mesh_graph):
+    dist = superfw(mesh_graph, seed=0).dist
+    return PathOracle(mesh_graph, dist)
+
+
+def test_path_endpoints_and_weight(oracle, mesh_graph):
+    rng = np.random.default_rng(0)
+    for _ in range(25):
+        i, j = (int(x) for x in rng.integers(0, mesh_graph.n, size=2))
+        path = oracle.path(i, j)
+        assert path[0] == i and path[-1] == j
+        assert np.isclose(oracle.path_weight(path), oracle.distance(i, j))
+
+
+def test_path_edges_exist(oracle, mesh_graph):
+    path = oracle.path(0, mesh_graph.n - 1)
+    for u, v in zip(path[:-1], path[1:]):
+        assert mesh_graph.has_edge(u, v)
+
+
+def test_trivial_path(oracle):
+    assert oracle.path(3, 3) == [3]
+    assert oracle.distance(3, 3) == 0.0
+
+
+def test_successor_first_hop(oracle, mesh_graph):
+    i, j = 0, mesh_graph.n - 1
+    k = oracle.successor(i, j)
+    assert mesh_graph.has_edge(i, k)
+    assert np.isclose(
+        oracle.distance(i, j),
+        oracle.path_weight([i, k]) + oracle.distance(k, j),
+    )
+
+
+def test_no_path_raises():
+    g = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    orc = PathOracle(g, floyd_warshall(g).dist)
+    with pytest.raises(ValueError):
+        orc.path(0, 3)
+
+
+def test_inconsistent_matrix_detected(mesh_graph):
+    dist = superfw(mesh_graph, seed=0).dist.copy()
+    dist[0, :] /= 2  # corrupt one row
+    dist[0, 0] = 0.0
+    orc = PathOracle(mesh_graph, dist)
+    with pytest.raises(ValueError):
+        orc.path(0, mesh_graph.n - 1)
+
+
+def test_shape_mismatch():
+    g = Graph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    with pytest.raises(ValueError):
+        PathOracle(g, np.zeros((2, 2)))
+
+
+def test_path_weight_rejects_non_edges(oracle, mesh_graph):
+    non_edge = None
+    for v in range(mesh_graph.n):
+        for u in range(mesh_graph.n):
+            if u != v and not mesh_graph.has_edge(v, u):
+                non_edge = (v, u)
+                break
+        if non_edge:
+            break
+    with pytest.raises(ValueError):
+        oracle.path_weight(list(non_edge))
+
+
+def test_oracle_agrees_across_backends(mesh_graph):
+    from repro.core.dijkstra import apsp_dijkstra
+
+    d1 = PathOracle(mesh_graph, superfw(mesh_graph, seed=0).dist)
+    d2 = PathOracle(mesh_graph, apsp_dijkstra(mesh_graph).dist)
+    p1 = d1.path(0, mesh_graph.n - 1)
+    p2 = d2.path(0, mesh_graph.n - 1)
+    assert np.isclose(d1.path_weight(p1), d2.path_weight(p2))

@@ -1,0 +1,83 @@
+"""Permutation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.util.perm import (
+    apply_symmetric_permutation,
+    check_permutation,
+    compose_permutations,
+    identity_permutation,
+    invert_permutation,
+)
+
+
+def test_identity():
+    assert np.array_equal(identity_permutation(5), np.arange(5))
+
+
+def test_invert_roundtrip():
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(50)
+    iperm = invert_permutation(perm)
+    assert np.array_equal(perm[iperm], np.arange(50))
+    assert np.array_equal(iperm[perm], np.arange(50))
+
+
+def test_invert_involution():
+    rng = np.random.default_rng(1)
+    perm = rng.permutation(20)
+    assert np.array_equal(invert_permutation(invert_permutation(perm)), perm)
+
+
+def test_compose_identity_neutral():
+    rng = np.random.default_rng(2)
+    perm = rng.permutation(10)
+    ident = identity_permutation(10)
+    assert np.array_equal(compose_permutations(perm, ident), perm)
+    assert np.array_equal(compose_permutations(ident, perm), perm)
+
+
+def test_compose_matches_sequential_application():
+    rng = np.random.default_rng(3)
+    a = rng.permutation(12)
+    b = rng.permutation(12)
+    data = rng.uniform(size=12)
+    combined = compose_permutations(a, b)
+    assert np.allclose(data[combined], data[a][b])
+
+
+def test_compose_length_mismatch():
+    with pytest.raises(ValueError):
+        compose_permutations(np.arange(3), np.arange(4))
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [np.array([0, 0, 1]), np.array([0, 2]), np.array([-1, 0]), np.array([[0, 1]])],
+    ids=["repeat", "out-of-range", "negative", "2d"],
+)
+def test_check_permutation_rejects(bad):
+    with pytest.raises(ValueError):
+        check_permutation(bad)
+
+
+def test_check_permutation_length():
+    with pytest.raises(ValueError):
+        check_permutation(np.arange(4), n=5)
+    check_permutation(np.arange(5), n=5)
+
+
+def test_apply_symmetric_permutation():
+    rng = np.random.default_rng(4)
+    mat = rng.uniform(size=(6, 6))
+    perm = rng.permutation(6)
+    out = apply_symmetric_permutation(mat, perm)
+    for i in range(6):
+        for j in range(6):
+            assert out[i, j] == mat[perm[i], perm[j]]
+
+
+def test_apply_symmetric_permutation_requires_square():
+    with pytest.raises(ValueError):
+        apply_symmetric_permutation(np.zeros((2, 3)), np.arange(2))

@@ -1,0 +1,107 @@
+"""Property-based tests of the full APSP stack (hypothesis).
+
+Invariants checked on randomly generated graphs:
+
+* SuperFW ≡ dense Floyd-Warshall ≡ Dijkstra (algorithm agreement);
+* relabeling invariance: apsp(permute(G)) == permute(apsp(G));
+* metric properties: symmetry, zero diagonal, triangle inequality;
+* monotonicity: adding an edge never increases any distance.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dense_fw import floyd_warshall
+from repro.core.dijkstra import apsp_dijkstra
+from repro.core.superfw import superfw
+from repro.graphs.graph import Graph
+
+
+@st.composite
+def random_graphs(draw, max_n=24):
+    n = draw(st.integers(2, max_n))
+    max_edges = n * (n - 1) // 2
+    m = draw(st.integers(0, min(3 * n, max_edges)))
+    pair_indices = draw(
+        st.lists(
+            st.integers(0, max_edges - 1), min_size=m, max_size=m, unique=True
+        )
+    )
+    # Decode linear index into (u, v) with u < v.
+    edges = []
+    for idx in pair_indices:
+        u = int(np.floor((2 * n - 1 - np.sqrt((2 * n - 1) ** 2 - 8 * idx)) / 2))
+        base = u * (2 * n - u - 1) // 2
+        v = int(idx - base + u + 1)
+        w = draw(st.floats(0.1, 10.0, allow_nan=False))
+        edges.append((u, v, w))
+    return Graph.from_edges(n, edges)
+
+
+@given(graph=random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_superfw_equals_dense_fw(graph):
+    assert np.allclose(
+        superfw(graph, seed=0, leaf_size=4).dist, floyd_warshall(graph).dist
+    )
+
+
+@given(graph=random_graphs())
+@settings(max_examples=25, deadline=None)
+def test_superfw_equals_dijkstra(graph):
+    assert np.allclose(superfw(graph, seed=0, leaf_size=4).dist, apsp_dijkstra(graph).dist)
+
+
+@given(graph=random_graphs(), seed=st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_relabeling_invariance(graph, seed):
+    """apsp(G^π)[i,j] == apsp(G)[π(i), π(j)]."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(graph.n)
+    base = superfw(graph, seed=0, leaf_size=4).dist
+    permuted = superfw(graph.permute(perm), seed=0, leaf_size=4).dist
+    assert np.allclose(permuted, base[np.ix_(perm, perm)])
+
+
+@given(graph=random_graphs())
+@settings(max_examples=30, deadline=None)
+def test_metric_properties(graph):
+    dist = superfw(graph, seed=0, leaf_size=4).dist
+    n = graph.n
+    assert np.allclose(np.diag(dist), 0.0)
+    assert np.allclose(dist, dist.T, equal_nan=True)
+    # Triangle inequality over all triples (finite entries only).
+    via = dist[:, :, None] + dist[None, :, :]
+    best = np.min(via, axis=1)
+    finite = np.isfinite(best)
+    assert np.all(dist[finite] <= best[finite] + 1e-9)
+
+
+@given(graph=random_graphs(max_n=16), w=st.floats(0.1, 5.0))
+@settings(max_examples=25, deadline=None)
+def test_adding_edge_never_increases_distances(graph, w):
+    dist_before = superfw(graph, seed=0, leaf_size=4).dist
+    # Add one absent edge (if the graph is complete, skip).
+    n = graph.n
+    dense = graph.to_dense_dist()
+    candidates = np.argwhere(np.isinf(dense))
+    if candidates.size == 0:
+        return
+    u, v = candidates[0]
+    edges = np.vstack([graph.edge_array(), [u, v, w]])
+    bigger = Graph.from_edges(n, edges)
+    dist_after = superfw(bigger, seed=0, leaf_size=4).dist
+    finite = np.isfinite(dist_before)
+    assert np.all(dist_after[finite] <= dist_before[finite] + 1e-9)
+    assert dist_after[u, v] <= w + 1e-9
+
+
+@given(graph=random_graphs(max_n=16), scale=st.floats(0.5, 4.0))
+@settings(max_examples=20, deadline=None)
+def test_weight_scaling_scales_distances(graph, scale):
+    """Shortest paths are homogeneous: dist(c·w) = c·dist(w)."""
+    base = superfw(graph, seed=0, leaf_size=4).dist
+    scaled = superfw(graph.with_weights(graph.weights * scale), seed=0, leaf_size=4).dist
+    finite = np.isfinite(base)
+    assert np.allclose(scaled[finite], base[finite] * scale)

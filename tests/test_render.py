@@ -1,0 +1,72 @@
+"""ASCII sparsity rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import ascii_spy, densification_frames
+from repro.graphs.generators import grid2d
+from repro.ordering.nested_dissection import nested_dissection
+
+
+def test_spy_small_matrix_exact():
+    mat = np.full((3, 3), np.inf)
+    np.fill_diagonal(mat, 0.0)
+    mat[0, 1] = 2.0
+    out = ascii_spy(mat)
+    assert out.splitlines() == ["##.", ".#.", "..#"]
+
+
+def test_spy_boolean_input():
+    pattern = np.eye(4, dtype=bool)
+    lines = ascii_spy(pattern).splitlines()
+    assert lines[0] == "#..."
+    assert lines[3] == "...#"
+
+
+def test_spy_downsamples():
+    mat = np.zeros((200, 200), dtype=bool)
+    mat[0, 199] = True
+    out = ascii_spy(mat, max_size=50)
+    lines = out.splitlines()
+    assert len(lines) <= 50
+    assert lines[0].endswith("#")
+
+
+def test_spy_custom_chars():
+    out = ascii_spy(np.eye(2, dtype=bool), filled="X", empty="o")
+    assert out == "Xo\noX"
+
+
+def test_spy_rejects_vectors():
+    with pytest.raises(ValueError):
+        ascii_spy(np.zeros(5))
+
+
+def test_densification_monotone():
+    g = grid2d(6, 6, seed=0)
+    frames = densification_frames(g.to_dense_dist(), [0, 9, 18, 36])
+    fracs = [f for _, f, _ in frames]
+    assert fracs == sorted(fracs)
+    assert frames[-1][1] == 1.0  # connected graph ends dense
+
+
+def test_densification_does_not_mutate_input():
+    g = grid2d(5, 5, seed=0)
+    dist = g.to_dense_dist()
+    snapshot = dist.copy()
+    densification_frames(dist, [25])
+    assert np.array_equal(dist, snapshot)
+
+
+def test_nd_defers_fill_vs_random():
+    g = grid2d(10, 10, seed=0)
+    n = g.n
+    rng = np.random.default_rng(0)
+    at = [3 * n // 4]
+    frac_rand = densification_frames(
+        g.permute(rng.permutation(n)).to_dense_dist(), at
+    )[0][1]
+    frac_nd = densification_frames(
+        g.permute(nested_dissection(g, seed=0).perm).to_dense_dist(), at
+    )[0][1]
+    assert frac_nd < frac_rand

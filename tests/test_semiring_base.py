@@ -1,0 +1,77 @@
+"""Semiring instances: identities, annihilation, basic array ops."""
+
+import numpy as np
+import pytest
+
+from repro.semiring import BOOLEAN, MAX_PLUS, MIN_MAX, MIN_PLUS
+
+ALL = [MIN_PLUS, MAX_PLUS, BOOLEAN, MIN_MAX]
+IDS = [s.name for s in ALL]
+
+
+@pytest.mark.parametrize("sr", ALL, ids=IDS)
+def test_add_identity(sr):
+    x = np.array([0.25, 1.0, 0.0])
+    assert np.array_equal(sr.add(x, sr.zero), x)
+
+
+@pytest.mark.parametrize("sr", ALL, ids=IDS)
+def test_mul_identity(sr):
+    x = np.array([0.25, 1.0, 0.0])
+    assert np.array_equal(sr.mul(x, sr.one), x)
+
+
+@pytest.mark.parametrize("sr", ALL, ids=IDS)
+def test_mul_annihilates(sr):
+    x = np.array([0.25, 0.75])
+    out = sr.mul(x, sr.zero)
+    assert np.all(sr.is_zero(out))
+
+
+@pytest.mark.parametrize("sr", ALL, ids=IDS)
+def test_add_commutative_associative(sr):
+    rng = np.random.default_rng(0)
+    a, b, c = rng.uniform(0, 1, size=(3, 8))
+    assert np.array_equal(sr.add(a, b), sr.add(b, a))
+    assert np.allclose(sr.add(sr.add(a, b), c), sr.add(a, sr.add(b, c)))
+
+
+@pytest.mark.parametrize("sr", ALL, ids=IDS)
+def test_mul_distributes_over_add(sr):
+    rng = np.random.default_rng(1)
+    a, b, c = rng.uniform(0, 1, size=(3, 8))
+    lhs = sr.mul(a, sr.add(b, c))
+    rhs = sr.add(sr.mul(a, b), sr.mul(a, c))
+    assert np.allclose(lhs, rhs)
+
+
+@pytest.mark.parametrize("sr", ALL, ids=IDS)
+def test_zeros_and_eye(sr):
+    z = sr.zeros((3, 4))
+    assert z.shape == (3, 4)
+    assert np.all(sr.is_zero(z))
+    eye = sr.eye(3)
+    assert np.all(np.diag(eye) == sr.one)
+    off = eye[~np.eye(3, dtype=bool)]
+    assert np.all(sr.is_zero(off))
+
+
+def test_minplus_specifics():
+    assert MIN_PLUS.zero == np.inf
+    assert MIN_PLUS.one == 0.0
+    assert MIN_PLUS.add(3.0, 5.0) == 3.0
+    assert MIN_PLUS.mul(3.0, 5.0) == 8.0
+
+
+def test_boolean_models_reachability():
+    # 1 = reachable, 0 = not; add = or, mul = and.
+    assert BOOLEAN.add(0.0, 1.0) == 1.0
+    assert BOOLEAN.mul(1.0, 0.0) == 0.0
+    assert BOOLEAN.mul(1.0, 1.0) == 1.0
+
+
+def test_is_zero_distinguishes_sign_of_inf():
+    assert MIN_PLUS.is_zero(np.array([np.inf]))[0]
+    assert not MIN_PLUS.is_zero(np.array([-np.inf]))[0]
+    assert MAX_PLUS.is_zero(np.array([-np.inf]))[0]
+    assert not MAX_PLUS.is_zero(np.array([np.inf]))[0]

@@ -1,0 +1,117 @@
+"""Vertex separators: König cover correctness and separation property."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.components import connected_components
+from repro.graphs.generators import delaunay_mesh, grid2d
+from repro.graphs.graph import Graph
+from repro.ordering.partition import bisect_graph
+from repro.ordering.separator import _hopcroft_karp, vertex_separator_from_bisection
+
+
+def _assert_separates(graph, side, sep):
+    """Removing `sep` must leave no side-0/side-1 edge."""
+    in_sep = np.zeros(graph.n, dtype=bool)
+    in_sep[sep] = True
+    for u, v, _ in graph.edge_array():
+        u, v = int(u), int(v)
+        if in_sep[u] or in_sep[v]:
+            continue
+        assert side[u] == side[v], f"uncovered cut edge ({u},{v})"
+
+
+@pytest.mark.parametrize("method", ["cover", "boundary"])
+def test_separator_separates(method):
+    g = grid2d(10, 10, seed=0)
+    side = bisect_graph(g, seed=0)
+    sep = vertex_separator_from_bisection(g, side, method=method)
+    assert sep.size > 0
+    _assert_separates(g, side, sep)
+
+
+def test_cover_never_larger_than_boundary():
+    g = delaunay_mesh(200, seed=1)
+    side = bisect_graph(g, seed=1)
+    cover = vertex_separator_from_bisection(g, side, method="cover")
+    boundary = vertex_separator_from_bisection(g, side, method="boundary")
+    assert cover.size <= boundary.size
+
+
+def test_unknown_method():
+    g = grid2d(4, 4, seed=0)
+    side = bisect_graph(g, seed=0)
+    with pytest.raises(ValueError):
+        vertex_separator_from_bisection(g, side, method="magic")
+
+
+def test_no_cut_edges_gives_empty_separator():
+    g = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    side = np.array([0, 0, 1, 1], dtype=np.int8)
+    sep = vertex_separator_from_bisection(g, side)
+    assert sep.size == 0
+
+
+def test_grid_separator_near_sqrt_n():
+    g = grid2d(16, 16, seed=0)
+    side = bisect_graph(g, seed=0)
+    sep = vertex_separator_from_bisection(g, side)
+    assert sep.size <= 3 * 16  # O(sqrt n) with slack
+
+
+def test_separator_vertices_unique_and_sorted():
+    g = delaunay_mesh(120, seed=2)
+    side = bisect_graph(g, seed=2)
+    sep = vertex_separator_from_bisection(g, side)
+    assert np.array_equal(sep, np.unique(sep))
+
+
+# ---------------------------------------------------------------------
+# Hopcroft-Karp max matching, against brute force on small instances.
+# ---------------------------------------------------------------------
+def _brute_force_max_matching(nl, nr, adj):
+    best = 0
+
+    def rec(u, used_r, count):
+        nonlocal best
+        if u == nl:
+            best = max(best, count)
+            return
+        rec(u + 1, used_r, count)  # skip u
+        for v in adj[u]:
+            if v not in used_r:
+                rec(u + 1, used_r | {v}, count + 1)
+
+    rec(0, frozenset(), 0)
+    return best
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_hopcroft_karp_maximum(seed):
+    rng = np.random.default_rng(seed)
+    nl, nr = int(rng.integers(1, 7)), int(rng.integers(1, 7))
+    adj = [
+        sorted(set(rng.integers(0, nr, size=rng.integers(0, nr + 1)).tolist()))
+        for _ in range(nl)
+    ]
+    match_l, match_r = _hopcroft_karp(nl, nr, adj)
+    size = int(np.sum(match_l >= 0))
+    # Matching is consistent...
+    for u in range(nl):
+        if match_l[u] >= 0:
+            assert match_r[match_l[u]] == u
+            assert match_l[u] in adj[u]
+    # ...and maximum.
+    assert size == _brute_force_max_matching(nl, nr, adj)
+
+
+def test_konig_cover_size_equals_matching_size():
+    """König: |min vertex cover| == |max matching| on the cut bipartite graph."""
+    g = grid2d(8, 8, seed=0)
+    side = bisect_graph(g, seed=0)
+    from repro.ordering.separator import _boundary_bipartite
+
+    lefts, rights, adj = _boundary_bipartite(g, side)
+    match_l, _ = _hopcroft_karp(lefts.shape[0], rights.shape[0], adj)
+    sep = vertex_separator_from_bisection(g, side, method="cover")
+    assert sep.size == int(np.sum(match_l >= 0))

@@ -1,0 +1,77 @@
+"""The Table 3 surrogate suite."""
+
+import pytest
+
+from repro.graphs.components import is_connected
+from repro.graphs.suite import (
+    LARGE_NAMES,
+    SCALING_NAMES,
+    SMALL_NAMES,
+    build_suite,
+    get_entry,
+    large_suite,
+    small_suite,
+    suite_names,
+)
+
+
+def test_suite_covers_table3():
+    names = suite_names()
+    assert len(names) == 24  # every row of Table 3
+    for expected in ["USpowerGrid", "luxembourg_osm", "hypercube_14", "t60k"]:
+        assert expected in names
+
+
+def test_small_large_partition():
+    assert set(SMALL_NAMES).isdisjoint(LARGE_NAMES)
+    assert set(SMALL_NAMES) | set(LARGE_NAMES) == set(suite_names())
+
+
+def test_scaling_names_exist():
+    assert set(SCALING_NAMES) <= set(suite_names())
+    assert SCALING_NAMES == ["finan512", "net4-1", "email-Enron", "wing"]
+
+
+def test_get_entry_unknown():
+    with pytest.raises(KeyError):
+        get_entry("no_such_matrix")
+
+
+def test_entries_carry_paper_stats():
+    e = get_entry("USpowerGrid")
+    assert e.paper_n == 4.9e3
+    assert e.paper_nnz_per_n == 2.66
+    assert e.paper_n_over_s == 6.2e2
+
+
+@pytest.mark.parametrize("name", suite_names())
+def test_every_entry_builds_connected(name):
+    g = get_entry(name).build(size_factor=0.25, seed=0)
+    assert is_connected(g)
+    assert g.n >= 64
+
+
+def test_size_factor_scales():
+    small = get_entry("delaunay_n14").build(size_factor=0.25)
+    big = get_entry("delaunay_n14").build(size_factor=0.5)
+    assert big.n > small.n
+
+
+def test_size_factor_floor():
+    g = get_entry("USpowerGrid").build(size_factor=0.01)
+    assert g.n >= 64
+
+
+def test_build_suite_subsets():
+    rows = build_suite(["G67", "wing"], size_factor=0.25)
+    assert [e.name for e, _ in rows] == ["G67", "wing"]
+
+
+def test_small_and_large_suite_helpers():
+    assert [e.name for e, _ in small_suite(size_factor=0.1)] == SMALL_NAMES
+    assert [e.name for e, _ in large_suite(size_factor=0.1)] == LARGE_NAMES
+
+
+def test_expander_entries_are_dense_enough():
+    g = get_entry("EB_8192_256").build(size_factor=0.3, seed=0)
+    assert g.density > 15  # the adversarial expander class stays dense

@@ -1,0 +1,116 @@
+"""Low-treewidth APSP (DPC/P3C + hub labels; paper reference [33])."""
+
+import numpy as np
+import pytest
+
+from repro.core.superfw import superfw
+from repro.core.treewidth import TreewidthAPSP
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+
+from conftest import scipy_apsp
+
+
+def test_all_pairs_matches_oracle(any_graph):
+    tw = TreewidthAPSP(any_graph, seed=0)
+    assert np.allclose(tw.all_pairs(), scipy_apsp(any_graph))
+
+
+def test_single_queries(mesh_graph):
+    tw = TreewidthAPSP(mesh_graph, seed=0)
+    oracle = scipy_apsp(mesh_graph)
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        i, j = (int(x) for x in rng.integers(0, mesh_graph.n, 2))
+        assert tw.query(i, j) == pytest.approx(oracle[i, j])
+
+
+def test_self_distance_zero(grid_graph):
+    tw = TreewidthAPSP(grid_graph, seed=0)
+    assert tw.query(7, 7) == 0.0
+
+
+def test_filled_edges_exact_after_p3c(mesh_graph):
+    """P3C's defining property: every filled-edge weight is the true distance."""
+    tw = TreewidthAPSP(mesh_graph, seed=0)
+    ref = scipy_apsp(mesh_graph)[np.ix_(tw.perm, tw.perm)]
+    for k in range(mesh_graph.n):
+        s = tw.struct[k]
+        assert np.allclose(tw._w[s, k], ref[s, k])
+        assert np.allclose(tw._w[k, s], ref[k, s])
+
+
+def test_factor_work_below_dense(mesh_graph):
+    """O(n·tw²) factorization ≪ O(n³) — the point of the method."""
+    tw = TreewidthAPSP(mesh_graph, seed=0)
+    assert tw.factor_ops < 0.1 * 2 * mesh_graph.n**3
+
+
+def test_label_sizes_bounded_by_tree_depth(mesh_graph):
+    tw = TreewidthAPSP(mesh_graph, seed=0)
+    sizes = tw.label_sizes()
+    assert sizes.min() >= 1
+    assert sizes.max() <= mesh_graph.n
+
+
+def test_disconnected_queries_infinite():
+    g = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    tw = TreewidthAPSP(g, seed=0)
+    assert np.isinf(tw.query(0, 2))
+    assert tw.query(0, 1) == 1.0
+
+
+def test_directed_queries():
+    rng = np.random.default_rng(2)
+    arcs = [
+        (int(u), int(v), float(rng.uniform(0.1, 2)))
+        for u, v in rng.integers(0, 70, (250, 2))
+        if u != v
+    ]
+    dg = DiGraph.from_edges(70, arcs)
+    tw = TreewidthAPSP(dg, seed=0)
+    ref = superfw(dg, seed=0).dist
+    assert np.allclose(tw.all_pairs(), ref)
+
+
+def test_directed_negative_arcs():
+    rng = np.random.default_rng(3)
+    arcs = [
+        (int(u), int(v), float(rng.uniform(0.1, 2)))
+        for u, v in rng.integers(0, 50, (180, 2))
+        if u != v
+    ]
+    h = rng.uniform(0, 3, 50)
+    arcs = [(u, v, w + h[u] - h[v]) for u, v, w in arcs]
+    dg = DiGraph.from_edges(50, arcs)
+    tw = TreewidthAPSP(dg, seed=0)
+    assert np.allclose(tw.all_pairs(), superfw(dg, seed=0).dist)
+
+
+def test_negative_cycle_detected():
+    dg = DiGraph.from_edges(3, [(0, 1, 1.0), (1, 2, 1.0), (2, 0, -5.0)])
+    with pytest.raises(ValueError):
+        TreewidthAPSP(dg, seed=0)
+
+
+def test_timings_recorded(grid_graph):
+    tw = TreewidthAPSP(grid_graph, seed=0)
+    for phase in ("ordering", "symbolic", "factorize"):
+        assert phase in tw.timings.phases
+
+
+def test_labels_are_lazy(grid_graph):
+    tw = TreewidthAPSP(grid_graph, seed=0)
+    assert len(tw._to_anc) == 0  # nothing built yet
+    tw.query(0, grid_graph.n - 1)
+    assert len(tw._to_anc) == 2  # exactly the two endpoints
+    tw.query(0, grid_graph.n - 1)
+    assert len(tw._to_anc) == 2  # cached
+
+
+def test_prebuilt_ordering_accepted(mesh_graph):
+    from repro.ordering.nested_dissection import nested_dissection
+
+    nd = nested_dissection(mesh_graph, seed=0)
+    tw = TreewidthAPSP(mesh_graph, ordering=nd.ordering)
+    assert np.allclose(tw.all_pairs(), scipy_apsp(mesh_graph))

@@ -1,0 +1,21 @@
+"""Execute the tutorial's doctest snippets so the docs never rot."""
+
+import doctest
+import re
+from pathlib import Path
+
+TUTORIAL = Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+
+def test_tutorial_snippets_run():
+    text = TUTORIAL.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    assert len(blocks) >= 6, "tutorial lost its code blocks"
+    # Sessions share one namespace, like a reader's REPL.
+    source = "\n".join(blocks)
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(source, {}, "TUTORIAL.md", str(TUTORIAL), 0)
+    runner = doctest.DocTestRunner(optionflags=doctest.NORMALIZE_WHITESPACE)
+    runner.run(test)
+    assert runner.failures == 0, f"{runner.failures} tutorial snippets failed"
+    assert runner.tries >= 15  # most statements actually executed

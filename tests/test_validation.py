@@ -1,0 +1,85 @@
+"""Input validation and the APSP certificate checker."""
+
+import numpy as np
+import pytest
+
+from repro.core.dense_fw import floyd_warshall
+from repro.graphs.generators import grid2d
+from repro.graphs.graph import Graph
+from repro.graphs.validation import (
+    check_apsp_certificate,
+    has_negative_cycle,
+    validate_weights,
+)
+
+
+def test_validate_weights_finite():
+    g = grid2d(3, 3, seed=0)
+    validate_weights(g)
+
+
+def test_validate_weights_rejects_negative_when_required():
+    g = Graph.from_edges(2, [(0, 1, -1.0)])
+    validate_weights(g)  # fine without positivity
+    with pytest.raises(ValueError):
+        validate_weights(g, require_positive=True)
+
+
+def test_negative_undirected_edge_is_negative_cycle():
+    # u-v-u traverses the edge twice: weight 2w < 0.
+    g = Graph.from_edges(3, [(0, 1, -1.0), (1, 2, 2.0)])
+    assert has_negative_cycle(g)
+
+
+def test_positive_graph_has_no_negative_cycle():
+    assert not has_negative_cycle(grid2d(4, 4, seed=0))
+
+
+def test_empty_graph_has_no_negative_cycle():
+    assert not has_negative_cycle(Graph.from_edges(3, []))
+
+
+def test_certificate_accepts_correct_apsp(grid_graph):
+    dist = floyd_warshall(grid_graph).dist
+    check_apsp_certificate(grid_graph, dist)
+
+
+def test_certificate_rejects_overestimate(grid_graph):
+    dist = floyd_warshall(grid_graph).dist.copy()
+    dist[0, 5] = dist[5, 0] = dist[0, 5] + 10.0  # inflate one pair
+    with pytest.raises(AssertionError):
+        check_apsp_certificate(grid_graph, dist)
+
+
+def test_certificate_rejects_underestimate(grid_graph):
+    dist = floyd_warshall(grid_graph).dist.copy()
+    far = np.unravel_index(np.argmax(dist), dist.shape)
+    dist[far] = dist[far[::-1]] = 1e-6  # impossibly short
+    with pytest.raises(AssertionError):
+        check_apsp_certificate(grid_graph, dist)
+
+
+def test_certificate_rejects_nonzero_diagonal(grid_graph):
+    dist = floyd_warshall(grid_graph).dist.copy()
+    dist[3, 3] = 1.0
+    with pytest.raises(AssertionError):
+        check_apsp_certificate(grid_graph, dist)
+
+
+def test_certificate_rejects_asymmetry(grid_graph):
+    dist = floyd_warshall(grid_graph).dist.copy()
+    dist[0, 1] += 0.5
+    with pytest.raises(AssertionError):
+        check_apsp_certificate(grid_graph, dist)
+
+
+def test_certificate_rejects_wrong_shape(grid_graph):
+    with pytest.raises(AssertionError):
+        check_apsp_certificate(grid_graph, np.zeros((3, 3)))
+
+
+def test_certificate_handles_disconnected_inf():
+    g = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 2.0)])
+    dist = floyd_warshall(g).dist
+    assert np.isinf(dist[0, 2])
+    check_apsp_certificate(g, dist)
