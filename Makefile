@@ -3,13 +3,20 @@
 PYTHON ?= python
 SIZE   ?= 0.5
 
-.PHONY: install test bench experiments examples clean all
+.PHONY: install test faults bench experiments examples clean all
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Resilience suite under a small matrix of fault-injection seeds.
+faults:
+	@for seed in 0 1 2; do \
+		echo "== REPRO_FAULT_SEED=$$seed =="; \
+		REPRO_FAULT_SEED=$$seed $(PYTHON) -m pytest tests/test_resilience.py -q || exit 1; \
+	done
 
 bench:
 	REPRO_SIZE_FACTOR=$(SIZE) $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -21,6 +21,8 @@ Public surface
 * :mod:`repro.symbolic` — etree, fill, supernodes;
 * :mod:`repro.semiring` — tropical algebra and blocked kernels;
 * :mod:`repro.parallel` — task DAGs and the work-depth scaling simulator;
+* :mod:`repro.resilience` — typed errors, fault injection, budgets, and
+  the verified ``method="auto"`` fallback chain;
 * :mod:`repro.experiments` — one runner per paper table/figure.
 """
 
@@ -34,20 +36,44 @@ from repro.graphs import generators
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
 from repro.ordering.nested_dissection import nested_dissection
+from repro.resilience import (
+    BudgetExceededError,
+    FallbackExhaustedError,
+    FaultSpec,
+    GraphValidationError,
+    KernelFaultError,
+    NegativeCycleError,
+    ReproError,
+    RetryPolicy,
+    SolveBudget,
+    TaskFailedError,
+    inject_faults,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "APSPResult",
+    "BudgetExceededError",
     "DiGraph",
+    "FallbackExhaustedError",
+    "FaultSpec",
     "Graph",
+    "GraphValidationError",
     "IncrementalAPSP",
+    "KernelFaultError",
+    "NegativeCycleError",
     "PathOracle",
+    "ReproError",
+    "RetryPolicy",
+    "SolveBudget",
     "SuperFWPlan",
+    "TaskFailedError",
     "TreewidthAPSP",
     "apsp",
     "available_methods",
     "generators",
+    "inject_faults",
     "nested_dissection",
     "plan_superfw",
     "superfw",

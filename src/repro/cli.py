@@ -44,17 +44,55 @@ def _load_graph(args):
     return read_matrix_market(args.graph, directed=directed)
 
 
+def _solve_budget(args):
+    from repro.resilience.budget import SolveBudget
+
+    if args.budget_seconds is None and args.budget_ops is None:
+        return None
+    return SolveBudget(wall_seconds=args.budget_seconds, max_ops=args.budget_ops)
+
+
+def _fault_context(args):
+    """An ``inject_faults`` context when any --fault-* rate is set."""
+    import contextlib
+
+    from repro.resilience.faults import FaultSpec, inject_faults
+
+    if not (args.fault_tasks or args.fault_kernels or args.fault_corrupt):
+        return contextlib.nullcontext()
+    return inject_faults(
+        FaultSpec(
+            seed=args.fault_seed,
+            task_failure_rate=args.fault_tasks,
+            kernel_error_rate=args.fault_kernels,
+            kernel_corruption_rate=args.fault_corrupt,
+        )
+    )
+
+
 def _cmd_solve(args) -> int:
     from repro.core.api import apsp
 
     graph = _load_graph(args)
     options = {}
-    if args.method in ("superfw", "superbfs", "parallel-superfw"):
+    if args.method in ("superfw", "superbfs", "parallel-superfw", "auto"):
         options["seed"] = args.seed
-    result = apsp(graph, method=args.method, **options)
+    with _fault_context(args):
+        result = apsp(
+            graph,
+            method=args.method,
+            detect_negative_cycles=args.detect_negative_cycles,
+            budget=_solve_budget(args),
+            **options,
+        )
     finite = np.isfinite(result.dist)
     offdiag = finite & ~np.eye(graph.n, dtype=bool)
     print(f"method: {result.method}")
+    for attempt in result.meta.get("attempts", []):
+        line = f"attempt: {attempt['method']} -> {attempt['status']}"
+        if attempt.get("error"):
+            line += f" ({attempt['error']})"
+        print(line)
     print(f"graph: n={graph.n}, stored arcs={graph.nnz}")
     print(f"solve time: {result.solve_seconds() * 1e3:.1f} ms")
     if result.ops.total:
@@ -191,8 +229,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     solve = sub.add_parser("solve", help="compute APSP on a graph")
     add_graph_args(solve)
-    solve.add_argument("--method", default="superfw")
+    solve.add_argument(
+        "--method",
+        default="superfw",
+        help="backend name, or 'auto' for the verified fallback chain",
+    )
     solve.add_argument("--out", help="write the distance matrix (.npy)")
+    solve.add_argument(
+        "--detect-negative-cycles",
+        action="store_true",
+        help="run Bellman-Ford up front; exit 2 on a negative cycle",
+    )
+    solve.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="abort (exit 3) past this much solve wall-clock",
+    )
+    solve.add_argument(
+        "--budget-ops",
+        type=float,
+        default=None,
+        help="abort (exit 3) past this many scalar semiring ops",
+    )
+    faults = solve.add_argument_group(
+        "fault injection (testing the recovery paths)"
+    )
+    faults.add_argument(
+        "--fault-tasks", type=float, default=0.0, metavar="RATE",
+        help="per-attempt supernode task failure probability",
+    )
+    faults.add_argument(
+        "--fault-kernels", type=float, default=0.0, metavar="RATE",
+        help="per-call kernel exception probability",
+    )
+    faults.add_argument(
+        "--fault-corrupt", type=float, default=0.0, metavar="RATE",
+        help="per-call kernel NaN-corruption probability",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="fault-injection seed (default: $REPRO_FAULT_SEED or 0)",
+    )
     solve.set_defaults(func=_cmd_solve)
 
     info = sub.add_parser("info", help="structural statistics of a graph")
@@ -227,11 +305,43 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Exit codes for typed failures (0 = ok, 1 = other ReproError).
+EXIT_VALIDATION = 2
+EXIT_BUDGET = 3
+EXIT_FALLBACK_EXHAUSTED = 4
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Typed :class:`~repro.resilience.errors.ReproError` failures exit with
+    a one-line message on stderr and a distinct code — 2 for input
+    validation (including negative cycles), 3 for a blown solve budget,
+    4 for an exhausted fallback chain — instead of a traceback.
+    """
+    from repro.resilience.errors import (
+        BudgetExceededError,
+        FallbackExhaustedError,
+        GraphValidationError,
+        ReproError,
+    )
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except FallbackExhaustedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FALLBACK_EXHAUSTED
+    except GraphValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_VALIDATION
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,6 +2,8 @@
 
 ``apsp(graph, method=...)`` dispatches to every algorithm in the library
 with consistent validation and a consistent :class:`~repro.core.result.APSPResult`.
+``method="auto"`` engages the resilient fallback chain of
+:mod:`repro.resilience.fallback`: solve, certificate-verify, escalate.
 """
 
 from __future__ import annotations
@@ -11,6 +13,8 @@ from typing import Callable
 from repro.core.result import APSPResult
 from repro.graphs.graph import Graph
 from repro.graphs.validation import validate_weights
+from repro.resilience.budget import BudgetTracker, SolveBudget
+from repro.resilience.errors import NegativeCycleError, ReproError, UnknownMethodError
 
 
 def _superfw(graph: Graph, **kw) -> APSPResult:
@@ -91,7 +95,14 @@ def _treewidth(graph: Graph, **kw) -> APSPResult:
     )
 
 
+def _auto(graph: Graph, **kw) -> APSPResult:
+    from repro.resilience.fallback import solve_with_fallback
+
+    return solve_with_fallback(graph, **kw)
+
+
 _METHODS: dict[str, Callable[..., APSPResult]] = {
+    "auto": _auto,
     "superfw": _superfw,
     "superbfs": _superbfs,
     "parallel-superfw": _parallel_superfw,
@@ -111,7 +122,29 @@ def available_methods() -> list[str]:
     return sorted(_METHODS)
 
 
-def apsp(graph: Graph, method: str = "superfw", **options) -> APSPResult:
+#: Methods that accept a ``budget=`` keyword natively.
+_BUDGET_AWARE = frozenset(
+    {"auto", "superfw", "superbfs", "parallel-superfw", "blocked-fw",
+     "dense-fw", "dijkstra", "boost-dijkstra", "delta-stepping"}
+)
+
+#: FW-family methods for which up-front negative-cycle detection makes
+#: sense (the Dijkstra family rejects negative weights outright and
+#: Johnson runs its own Bellman-Ford phase).
+_FW_FAMILY = frozenset(
+    {"auto", "superfw", "superbfs", "parallel-superfw", "blocked-fw",
+     "dense-fw", "path-doubling", "treewidth"}
+)
+
+
+def apsp(
+    graph: Graph,
+    method: str = "superfw",
+    *,
+    detect_negative_cycles: bool = False,
+    budget: SolveBudget | BudgetTracker | float | None = None,
+    **options,
+) -> APSPResult:
     """Compute all-pairs shortest paths.
 
     Parameters
@@ -121,7 +154,19 @@ def apsp(graph: Graph, method: str = "superfw", **options) -> APSPResult:
         :class:`~repro.graphs.digraph.DiGraph`.
     method:
         One of :func:`available_methods`; defaults to the paper's
-        supernodal Floyd-Warshall.
+        supernodal Floyd-Warshall.  ``"auto"`` runs the verified fallback
+        chain (superfw → dijkstra → blocked → dense) and records the
+        attempt trail in ``result.meta["attempts"]``.
+    detect_negative_cycles:
+        Run Bellman-Ford negative-cycle detection up front (FW-family
+        methods only) and raise
+        :class:`~repro.resilience.errors.NegativeCycleError` with a
+        witness vertex instead of returning meaningless distances.
+    budget:
+        A :class:`~repro.resilience.budget.SolveBudget` (or bare seconds)
+        enforced at supernode / kernel-step granularity; exceeding it
+        raises :class:`~repro.resilience.errors.BudgetExceededError`
+        carrying partial-progress statistics.
     options:
         Forwarded to the selected backend (e.g. ``leaf_size=...`` for
         SuperFW planning, ``delta=...`` for Δ-stepping,
@@ -135,7 +180,7 @@ def apsp(graph: Graph, method: str = "superfw", **options) -> APSPResult:
     try:
         backend = _METHODS[method]
     except KeyError:
-        raise ValueError(
+        raise UnknownMethodError(
             f"unknown method {method!r}; choose from {available_methods()}"
         ) from None
     from repro.graphs.digraph import DiGraph
@@ -144,4 +189,23 @@ def apsp(graph: Graph, method: str = "superfw", **options) -> APSPResult:
         # Accept scipy sparse matrices directly (symmetrized by min).
         graph = Graph.from_scipy(graph)
     validate_weights(graph)
+    if detect_negative_cycles:
+        if method not in _FW_FAMILY:
+            raise ReproError(
+                f"detect_negative_cycles is only meaningful for FW-family "
+                f"methods, not {method!r} (which rejects negative weights "
+                f"up front)"
+            )
+        from repro.graphs.validation import negative_cycle_witness
+
+        witness = negative_cycle_witness(graph)
+        if witness is not None:
+            raise NegativeCycleError(witness=witness)
+    if budget is not None:
+        if method not in _BUDGET_AWARE:
+            raise ReproError(
+                f"budget enforcement is not supported for method {method!r}; "
+                f"supported: {sorted(_BUDGET_AWARE)}"
+            )
+        options["budget"] = budget
     return backend(graph, **options)

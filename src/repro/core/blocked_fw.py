@@ -14,6 +14,8 @@ import numpy as np
 from repro.analysis.counters import OpCounter
 from repro.core.result import APSPResult
 from repro.graphs.graph import Graph
+from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
+from repro.resilience.errors import NegativeCycleError
 from repro.semiring.base import MIN_PLUS, Semiring
 from repro.semiring.kernels import (
     diag_update,
@@ -30,6 +32,7 @@ def blocked_floyd_warshall_inplace(
     block_size: int = 64,
     semiring: Semiring = MIN_PLUS,
     counter: OpCounter | None = None,
+    tracker: BudgetTracker | None = None,
 ) -> None:
     """Run blocked FW in place on a dense matrix."""
     n = dist.shape[0]
@@ -41,6 +44,12 @@ def blocked_floyd_warshall_inplace(
     bounds = list(range(0, n, block_size)) + [n]
     nb = len(bounds) - 1
     for k in range(nb):
+        if tracker is not None:
+            tracker.charge(
+                2 * n * n * (bounds[k + 1] - bounds[k]),
+                units=1,
+                where=f"blocked-fw:pivot block {k}",
+            )
         k0, k1 = bounds[k], bounds[k + 1]
         diag = dist[k0:k1, k0:k1]
         counter.add("diag", diag_update(diag, semiring))
@@ -81,20 +90,32 @@ def blocked_floyd_warshall(
     *,
     block_size: int = 64,
     semiring: Semiring = MIN_PLUS,
+    budget: SolveBudget | BudgetTracker | float | None = None,
 ) -> APSPResult:
     """APSP by blocked Floyd-Warshall (the dense *BlockedFw* baseline)."""
     timings = TimingBreakdown()
     ops = OpCounter()
+    if hasattr(graph, "to_dense_dist"):
+        n_est = graph.n
+    else:
+        n_est = np.asarray(graph).shape[0]
+    tracker = as_tracker(budget)
+    if tracker is not None:
+        tracker.check_allocation(float(n_est) ** 2 * 8, where="blocked-fw:dist")
     if hasattr(graph, "to_dense_dist"):
         dist = graph.to_dense_dist()
     else:
         dist = np.array(graph, dtype=np.float64, copy=True)
     with timings.time("solve"):
         blocked_floyd_warshall_inplace(
-            dist, block_size=block_size, semiring=semiring, counter=ops
+            dist,
+            block_size=block_size,
+            semiring=semiring,
+            counter=ops,
+            tracker=tracker,
         )
     if semiring is MIN_PLUS and np.any(np.diag(dist) < 0):
-        raise ValueError("graph contains a negative-weight cycle")
+        raise NegativeCycleError(witness=int(np.argmin(np.diag(dist))))
     return APSPResult(
         dist=dist,
         method="blocked-fw",

@@ -22,6 +22,8 @@ import numpy as np
 from repro.core.result import APSPResult
 from repro.graphs.graph import Graph
 from repro.graphs.validation import validate_weights
+from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
+from repro.resilience.errors import GraphValidationError
 from repro.util.timing import TimingBreakdown
 
 
@@ -34,7 +36,7 @@ def sssp_delta_stepping(
     the critical-path length of a parallel execution.
     """
     if delta <= 0:
-        raise ValueError("delta must be positive")
+        raise GraphValidationError("delta must be positive")
     n = graph.n
     dist = out if out is not None else np.full(n, np.inf)
     if out is not None:
@@ -117,19 +119,31 @@ def autotune_delta(
 
 
 def apsp_delta_stepping(
-    graph: Graph, *, delta: float | None = None
+    graph: Graph,
+    *,
+    delta: float | None = None,
+    budget: SolveBudget | BudgetTracker | float | None = None,
 ) -> APSPResult:
-    """APSP by Δ-stepping per source, autotuning Δ when not given."""
+    """APSP by Δ-stepping per source, autotuning Δ when not given.
+
+    ``budget`` limits are checked once per source.
+    """
     validate_weights(graph, require_positive=True)
     n = graph.n
     timings = TimingBreakdown()
+    tracker = as_tracker(budget, units_total=n)
+    if tracker is not None:
+        tracker.check_allocation(float(n) ** 2 * 8, where="delta-stepping:dist")
     if delta is None:
         with timings.time("autotune"):
             delta = autotune_delta(graph)
     dist = np.empty((n, n))
     total_rounds = 0
+    m = graph.indices.size
     with timings.time("solve"):
         for s in range(n):
+            if tracker is not None:
+                tracker.charge(2 * m, units=1, where=f"delta-stepping:source {s}")
             _, rounds = sssp_delta_stepping(graph, s, delta, out=dist[s])
             total_rounds += rounds
     return APSPResult(

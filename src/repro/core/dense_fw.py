@@ -12,6 +12,8 @@ import numpy as np
 from repro.analysis.counters import OpCounter
 from repro.core.result import APSPResult
 from repro.graphs.graph import Graph
+from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
+from repro.resilience.errors import NegativeCycleError
 from repro.semiring.base import MIN_PLUS, Semiring
 from repro.util.timing import TimingBreakdown
 
@@ -20,6 +22,8 @@ def floyd_warshall_inplace(
     dist: np.ndarray,
     semiring: Semiring = MIN_PLUS,
     via: np.ndarray | None = None,
+    *,
+    tracker: BudgetTracker | None = None,
 ) -> int:
     """Run FW on a dense matrix in place; returns the scalar op count.
 
@@ -35,8 +39,11 @@ def floyd_warshall_inplace(
     n = dist.shape[0]
     if dist.shape != (n, n):
         raise ValueError("dist must be square")
+    per_pivot = 2 * n * n
     if semiring is MIN_PLUS:
         for k in range(n):
+            if tracker is not None:
+                tracker.charge(per_pivot, where=f"dense-fw:pivot {k}")
             cand = dist[:, k : k + 1] + dist[k, :]
             if via is None:
                 np.minimum(dist, cand, out=dist)
@@ -46,6 +53,8 @@ def floyd_warshall_inplace(
                 np.minimum(dist, cand, out=dist)
     else:
         for k in range(n):
+            if tracker is not None:
+                tracker.charge(per_pivot, where=f"dense-fw:pivot {k}")
             cand = semiring.mul(dist[:, k : k + 1], dist[k, :])
             if via is not None:
                 better = semiring.add(dist, cand) != dist
@@ -60,6 +69,7 @@ def floyd_warshall(
     semiring: Semiring = MIN_PLUS,
     track_via: bool = False,
     check_negative_cycle: bool = True,
+    budget: SolveBudget | BudgetTracker | float | None = None,
 ) -> APSPResult:
     """APSP by dense Floyd-Warshall.
 
@@ -71,25 +81,36 @@ def floyd_warshall(
     track_via:
         Record pivots for path reconstruction (result meta key ``"via"``).
     check_negative_cycle:
-        Raise ``ValueError`` when a negative diagonal entry appears, which
-        certifies a negative cycle (min-plus only).
+        Raise :class:`~repro.resilience.errors.NegativeCycleError` when a
+        negative diagonal entry appears, which certifies a negative cycle
+        (min-plus only).
+    budget:
+        Optional :class:`~repro.resilience.budget.SolveBudget` checked at
+        every pivot step.
     """
     timings = TimingBreakdown()
     ops = OpCounter()
+    if hasattr(graph, "to_dense_dist"):
+        n_est = graph.n
+    else:
+        n_est = np.asarray(graph).shape[0]
+    tracker = as_tracker(budget, units_total=n_est)
+    if tracker is not None:
+        tracker.check_allocation(float(n_est) ** 2 * 8, where="dense-fw:dist")
     if hasattr(graph, "to_dense_dist"):
         dist = graph.to_dense_dist()
     else:
         dist = np.array(graph, dtype=np.float64, copy=True)
     via = np.full(dist.shape, -1, dtype=np.int64) if track_via else None
     with timings.time("solve"):
-        count = floyd_warshall_inplace(dist, semiring, via)
+        count = floyd_warshall_inplace(dist, semiring, via, tracker=tracker)
     ops.add("dense_fw", count)
     if (
         check_negative_cycle
         and semiring is MIN_PLUS
         and np.any(np.diag(dist) < 0)
     ):
-        raise ValueError("graph contains a negative-weight cycle")
+        raise NegativeCycleError(witness=int(np.argmin(np.diag(dist))))
     meta: dict = {}
     if track_via:
         meta["via"] = via

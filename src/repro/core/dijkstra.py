@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.result import APSPResult
 from repro.graphs.graph import Graph
 from repro.graphs.validation import validate_weights
+from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
 from repro.util.timing import TimingBreakdown
 
 _INF = float("inf")
@@ -88,16 +89,30 @@ def sssp_dijkstra(
     return np.asarray(dist)
 
 
-def apsp_dijkstra(graph: Graph) -> APSPResult:
-    """APSP by one Dijkstra sweep per source (CSR storage)."""
+def apsp_dijkstra(
+    graph: Graph,
+    *,
+    budget: SolveBudget | BudgetTracker | float | None = None,
+) -> APSPResult:
+    """APSP by one Dijkstra sweep per source (CSR storage).
+
+    ``budget`` (wall-clock / op limits) is checked once per source — the
+    natural task granularity of this driver.
+    """
     validate_weights(graph, require_positive=True)
     n = graph.n
     timings = TimingBreakdown()
+    tracker = as_tracker(budget, units_total=n)
+    if tracker is not None:
+        tracker.check_allocation(float(n) ** 2 * 8, where="dijkstra:dist")
     dist = np.empty((n, n))
     with timings.time("setup"):
         indptr, indices, weights = _csr_lists(graph)
+    m = graph.indices.size
     with timings.time("solve"):
         for s in range(n):
+            if tracker is not None:
+                tracker.charge(2 * m, units=1, where=f"dijkstra:source {s}")
             dist[s] = _sssp_csr(n, indptr, indices, weights, s)
     return APSPResult(dist=dist, method="dijkstra", timings=timings)
 
@@ -130,7 +145,11 @@ def _sssp_adjlist(
     return dist_map
 
 
-def apsp_dijkstra_adjlist(graph: Graph) -> APSPResult:
+def apsp_dijkstra_adjlist(
+    graph: Graph,
+    *,
+    budget: SolveBudget | BudgetTracker | float | None = None,
+) -> APSPResult:
     """APSP by Dijkstra over BGL-style storage (*BoostDijkstra*).
 
     Identical algorithm to :func:`apsp_dijkstra`; the differences are the
@@ -141,13 +160,19 @@ def apsp_dijkstra_adjlist(graph: Graph) -> APSPResult:
     validate_weights(graph, require_positive=True)
     n = graph.n
     timings = TimingBreakdown()
+    tracker = as_tracker(budget, units_total=n)
+    if tracker is not None:
+        tracker.check_allocation(float(n) ** 2 * 8, where="boost-dijkstra:dist")
     dist = np.empty((n, n))
     with timings.time("setup"):
         adj = graph.adjacency_lists()
         dist_map: dict[int, float] = {}
         color_map: dict[int, int] = {}
+    m = graph.indices.size
     with timings.time("solve"):
         for s in range(n):
+            if tracker is not None:
+                tracker.charge(2 * m, units=1, where=f"boost-dijkstra:source {s}")
             row = _sssp_adjlist(n, adj, dist_map, color_map, s)
             dist[s] = [row[v] for v in range(n)]
     return APSPResult(dist=dist, method="boost-dijkstra", timings=timings)

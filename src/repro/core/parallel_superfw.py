@@ -26,6 +26,15 @@ from repro.analysis.counters import OpCounter
 from repro.core.result import APSPResult
 from repro.core.superfw import SuperFWPlan, eliminate_supernode, plan_superfw
 from repro.graphs.graph import Graph
+from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
+from repro.resilience.errors import (
+    BudgetExceededError,
+    NegativeCycleError,
+    ReproError,
+    TaskFailedError,
+)
+from repro.resilience.faults import task_site
+from repro.resilience.retry import DEFAULT_TASK_RETRY, RetryPolicy, call_with_retry
 from repro.semiring.base import MIN_PLUS, Semiring
 from repro.util.perm import invert_permutation
 from repro.util.timing import TimingBreakdown
@@ -39,6 +48,8 @@ def parallel_superfw(
     etree_parallel: bool = True,
     exact_panels: bool = True,
     semiring: Semiring = MIN_PLUS,
+    budget: SolveBudget | BudgetTracker | float | None = None,
+    retry: RetryPolicy = DEFAULT_TASK_RETRY,
     **plan_options,
 ) -> APSPResult:
     """APSP by level-scheduled supernodal Floyd-Warshall.
@@ -51,6 +62,14 @@ def parallel_superfw(
         When false, supernodes are still dispatched through the pool but
         strictly one at a time — the "without eTree parallelism" variant
         of Fig. 8.
+    budget:
+        Optional solve budget checked per supernode task; a blown budget
+        raises :class:`~repro.resilience.errors.BudgetExceededError`.
+    retry:
+        Per-task retry policy.  A task that exhausts its in-pool retries
+        is re-run *sequentially* on the coordinating thread before the
+        level gives up (min-plus updates are idempotent, so re-running a
+        partially eliminated supernode is always safe).
     """
     if not (np.isposinf(semiring.zero) and semiring.one == 0.0):
         raise ValueError(
@@ -66,14 +85,22 @@ def parallel_superfw(
         timings.add(name, secs)
     perm = plan.ordering.perm
     structure = plan.structure
+    tracker = as_tracker(budget, units_total=structure.ns)
+    if tracker is not None:
+        tracker.check_allocation(
+            float(graph.n) ** 2 * np.float64().itemsize,
+            where="parallel-superfw:dist",
+        )
     with timings.time("permute"):
         dist = graph.to_dense_dist()[np.ix_(perm, perm)]
     aa_lock = threading.Lock()
     counter_lock = threading.Lock()
     ops = OpCounter()
+    recovery = {"task_retries": 0, "sequential_reruns": []}
 
-    def run(s: int) -> None:
+    def eliminate_once(s: int, attempt: int) -> None:
         local = OpCounter()
+        task_site(s, attempt)
         eliminate_supernode(
             dist,
             structure,
@@ -85,19 +112,65 @@ def parallel_superfw(
         )
         with counter_lock:
             ops.merge(local)
+        if tracker is not None:
+            tracker.charge(
+                local.total, units=1, where=f"parallel-superfw:supernode {s}"
+            )
+
+    def run(s: int) -> None:
+        _, used = call_with_retry(lambda attempt: eliminate_once(s, attempt), retry)
+        if used > 1:
+            with counter_lock:
+                recovery["task_retries"] += used - 1
+
+    def recover_sequentially(s: int, cause: BaseException) -> None:
+        # Level-level recovery: one last attempt on the coordinating
+        # thread, outside the pool, before the solve gives up.
+        recovery["sequential_reruns"].append(int(s))
+        try:
+            eliminate_once(s, retry.max_attempts + 1)
+        except BudgetExceededError:
+            raise
+        except ReproError as exc:
+            raise TaskFailedError(
+                f"supernode {s} failed {retry.max_attempts} pooled attempts "
+                f"and the sequential re-run: {exc}",
+                supernode=s,
+                attempts=retry.max_attempts + 1,
+            ) from cause
+
+    def drain(pending: dict) -> None:
+        failures: list[tuple[int, BaseException]] = []
+        budget_error: BudgetExceededError | None = None
+        for s, future in pending.items():
+            try:
+                future.result()
+            except BudgetExceededError as exc:
+                budget_error = exc
+            except ReproError as exc:
+                failures.append((s, exc))
+        if budget_error is not None:
+            raise budget_error
+        for s, exc in failures:
+            recover_sequentially(s, exc)
 
     levels = structure.level_order()
     with timings.time("solve"):
         with ThreadPoolExecutor(max_workers=max(1, num_threads)) as pool:
             if etree_parallel:
                 for group in levels:
-                    # Barrier per level: list() drains every future.
-                    list(pool.map(run, group.tolist()))
+                    # Barrier per level: drain every future, then retry
+                    # any casualties sequentially before the next level
+                    # (cousins only share the locked A×A region, so a
+                    # straggler cannot invalidate its siblings' work).
+                    drain({s: pool.submit(run, s) for s in group.tolist()})
             else:
                 for s in range(structure.ns):
-                    pool.submit(run, s).result()
+                    drain({s: pool.submit(run, s)})
     if semiring is MIN_PLUS and np.any(np.diag(dist) < 0):
-        raise ValueError("graph contains a negative-weight cycle")
+        raise NegativeCycleError(
+            witness=int(perm[int(np.argmin(np.diag(dist)))])
+        )
     iperm = invert_permutation(perm)
     out = dist[np.ix_(iperm, iperm)]
     return APSPResult(
@@ -110,5 +183,6 @@ def parallel_superfw(
             "num_threads": num_threads,
             "etree_parallel": etree_parallel,
             "levels": [g.shape[0] for g in levels],
+            "recovery": recovery,
         },
     )

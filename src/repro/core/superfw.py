@@ -30,6 +30,15 @@ from repro.graphs.graph import Graph
 from repro.ordering.base import Ordering
 from repro.ordering.bfs import bfs_ordering
 from repro.ordering.nested_dissection import NDResult, nested_dissection
+from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
+from repro.resilience.errors import (
+    BudgetExceededError,
+    NegativeCycleError,
+    ReproError,
+    TaskFailedError,
+)
+from repro.resilience.faults import task_site
+from repro.resilience.retry import DEFAULT_TASK_RETRY, RetryPolicy, call_with_retry
 from repro.semiring.base import MIN_PLUS, Semiring
 from repro.semiring.kernels import (
     diag_update,
@@ -217,6 +226,8 @@ def superfw(
     exact_panels: bool = True,
     semiring: Semiring = MIN_PLUS,
     dtype=np.float64,
+    budget: SolveBudget | BudgetTracker | float | None = None,
+    retry: RetryPolicy = DEFAULT_TASK_RETRY,
     **plan_options,
 ) -> APSPResult:
     """APSP by the sequential supernodal Floyd-Warshall (Algorithm 3).
@@ -238,6 +249,14 @@ def superfw(
         Distance-matrix dtype.  ``numpy.float32`` halves the ``8n²`` bytes
         at ~1e-7 relative accuracy — the same trade sparse direct solvers
         offer via single-precision factorization.
+    budget:
+        Optional :class:`~repro.resilience.budget.SolveBudget` (or bare
+        seconds, or a started tracker) checked at per-supernode
+        granularity; a blown budget raises
+        :class:`~repro.resilience.errors.BudgetExceededError`.
+    retry:
+        Per-supernode retry policy.  Re-running a partially eliminated
+        supernode is safe because min-plus updates are idempotent.
 
     Returns
     -------
@@ -262,20 +281,51 @@ def superfw(
     ops = OpCounter()
     perm = plan.ordering.perm
     structure = plan.structure
+    tracker = as_tracker(budget, units_total=structure.ns)
+    if tracker is not None:
+        tracker.check_allocation(
+            float(graph.n) ** 2 * np.dtype(dtype).itemsize, where="superfw:dist"
+        )
     with timings.time("permute"):
         dist = graph.to_dense_dist(dtype=dtype)[np.ix_(perm, perm)]
+    task_retries = 0
     with timings.time("solve"):
         for s in range(structure.ns):
-            eliminate_supernode(
-                dist,
-                structure,
-                s,
-                exact_panels=exact_panels,
-                semiring=semiring,
-                counter=ops,
-            )
+
+            def attempt(attempt_no: int, _s: int = s) -> OpCounter:
+                local = OpCounter()
+                task_site(_s, attempt_no)
+                eliminate_supernode(
+                    dist,
+                    structure,
+                    _s,
+                    exact_panels=exact_panels,
+                    semiring=semiring,
+                    counter=local,
+                )
+                return local
+
+            try:
+                local, used = call_with_retry(attempt, retry)
+            except BudgetExceededError:
+                raise
+            except TaskFailedError:
+                raise
+            except ReproError as exc:
+                raise TaskFailedError(
+                    f"supernode {s} failed after {retry.max_attempts} "
+                    f"attempts: {exc}",
+                    supernode=s,
+                    attempts=retry.max_attempts,
+                ) from exc
+            task_retries += used - 1
+            ops.merge(local)
+            if tracker is not None:
+                tracker.charge(local.total, units=1, where=f"superfw:supernode {s}")
     if semiring is MIN_PLUS and np.any(np.diag(dist) < 0):
-        raise ValueError("graph contains a negative-weight cycle")
+        raise NegativeCycleError(
+            witness=int(perm[int(np.argmin(np.diag(dist)))])
+        )
     iperm = invert_permutation(perm)
     with timings.time("permute"):
         out = dist[np.ix_(iperm, iperm)]
@@ -285,5 +335,9 @@ def superfw(
         method=method,
         timings=timings,
         ops=ops,
-        meta={"plan": plan, "exact_panels": exact_panels},
+        meta={
+            "plan": plan,
+            "exact_panels": exact_panels,
+            "recovery": {"task_retries": task_retries},
+        },
     )

@@ -58,7 +58,9 @@ class Graph:
         if not (
             np.array_equal(rows[order_fwd], self.indices[order_rev])
             and np.array_equal(self.indices[order_fwd], rows[order_rev])
-            and np.allclose(self.weights[order_fwd], self.weights[order_rev])
+            and np.allclose(
+                self.weights[order_fwd], self.weights[order_rev], equal_nan=True
+            )
         ):
             raise ValueError("graph structure/weights are not symmetric")
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graphs.graph import Graph
+from repro.resilience.errors import GraphValidationError
 
 
 def validate_weights(graph: Graph, *, require_positive: bool = False) -> None:
@@ -12,11 +13,49 @@ def validate_weights(graph: Graph, *, require_positive: bool = False) -> None:
 
     Dijkstra and Δ-stepping require non-negative weights; FW variants only
     require the absence of negative cycles (checked separately).
+
+    Raises
+    ------
+    GraphValidationError
+        (a ``ValueError`` subclass) on NaN, infinite, or — when
+        ``require_positive`` — negative weights.
     """
+    if np.any(np.isnan(graph.weights)):
+        raise GraphValidationError("edge weights contain NaN")
     if not np.all(np.isfinite(graph.weights)):
-        raise ValueError("edge weights must be finite")
+        raise GraphValidationError("edge weights must be finite")
     if require_positive and graph.weights.size and graph.weights.min() < 0:
-        raise ValueError("this algorithm requires non-negative edge weights")
+        raise GraphValidationError(
+            "this algorithm requires non-negative edge weights"
+        )
+
+
+def _bellman_ford_extra_round(graph: Graph) -> np.ndarray | None:
+    """Run ``n`` exact relaxation rounds; return the round-``n+1`` gain mask.
+
+    ``None`` means the relaxation reached an exact fixed point within
+    ``n`` rounds — no negative cycle.  The fixed-point test is exact
+    equality, *not* ``np.allclose``: relative tolerance would mask a tiny
+    negative cycle (say ``-1e-8``) riding on weights of magnitude
+    ``~1e6``, where the per-round decrease is far below ``rtol * |dist|``.
+    """
+    n = graph.n
+    if n == 0 or graph.indices.size == 0:
+        return None
+    rows = np.repeat(np.arange(n), np.diff(graph.indptr))
+    dist = np.zeros(n)
+    for _ in range(n):
+        cand = dist[rows] + graph.weights
+        new = dist.copy()
+        np.minimum.at(new, graph.indices, cand)
+        if np.array_equal(new, dist):
+            return None
+        dist = new
+    cand = dist[rows] + graph.weights
+    new = dist.copy()
+    np.minimum.at(new, graph.indices, cand)
+    improved = new < dist
+    return improved if np.any(improved) else None
 
 
 def has_negative_cycle(graph: Graph) -> bool:
@@ -26,22 +65,20 @@ def has_negative_cycle(graph: Graph) -> bool:
     super-source (distance 0 to every vertex); a relaxation succeeding on
     round ``n`` proves a negative cycle.
     """
-    n = graph.n
-    if n == 0 or graph.indices.size == 0:
-        return False
-    rows = np.repeat(np.arange(n), np.diff(graph.indptr))
-    dist = np.zeros(n)
-    for _ in range(n):
-        cand = dist[rows] + graph.weights
-        new = dist.copy()
-        np.minimum.at(new, graph.indices, cand)
-        if np.allclose(new, dist):
-            return False
-        dist = new
-    cand = dist[rows] + graph.weights
-    new = dist.copy()
-    np.minimum.at(new, graph.indices, cand)
-    return bool(np.any(new < dist - 1e-12))
+    return _bellman_ford_extra_round(graph) is not None
+
+
+def negative_cycle_witness(graph: Graph) -> int | None:
+    """A vertex still relaxing after ``n`` Bellman-Ford rounds, else ``None``.
+
+    Such a vertex is on, or downstream of, a negative cycle — it serves as
+    the witness carried by
+    :class:`~repro.resilience.errors.NegativeCycleError`.
+    """
+    improved = _bellman_ford_extra_round(graph)
+    if improved is None:
+        return None
+    return int(np.flatnonzero(improved)[0])
 
 
 def check_apsp_certificate(
@@ -54,12 +91,16 @@ def check_apsp_certificate(
     edge feasibility (``dist[u,v] <= w(u,v)``).  Together with symmetry
     these certify that ``dist`` is the pointwise-minimal feasible matrix
     whenever it is realisable; they catch any over- or under-estimate a
-    buggy solver could produce.
+    buggy solver could produce.  NaN entries are rejected outright —
+    NaN propagates through ``min`` and would otherwise vacuously satisfy
+    every comparison below.
     """
     n = graph.n
     if dist.shape != (n, n):
         raise AssertionError(f"distance matrix has shape {dist.shape}")
-    if not np.allclose(np.diag(dist), 0.0, atol=atol):
+    if np.isnan(dist).any():
+        raise AssertionError("distance matrix contains NaN")
+    if n and not np.allclose(np.diag(dist), 0.0, atol=atol):
         raise AssertionError("diagonal of Dist must be zero")
     from repro.graphs.digraph import DiGraph
 

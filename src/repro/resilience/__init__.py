@@ -1,0 +1,51 @@
+"""Resilient execution layer: typed errors, fault injection, retry,
+budgets, and the verified fallback chain.
+
+See ``docs/RESILIENCE.md`` for the full design.
+"""
+
+from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
+from repro.resilience.errors import (
+    BudgetExceededError,
+    FallbackExhaustedError,
+    GraphValidationError,
+    KernelFaultError,
+    NegativeCycleError,
+    ReproError,
+    TaskFailedError,
+    UnknownMethodError,
+)
+from repro.resilience.fallback import DEFAULT_CHAIN, Attempt, solve_with_fallback
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultSpec,
+    active_injector,
+    default_fault_seed,
+    inject_faults,
+)
+from repro.resilience.retry import DEFAULT_TASK_RETRY, RetryPolicy, call_with_retry
+
+__all__ = [
+    "Attempt",
+    "BudgetExceededError",
+    "BudgetTracker",
+    "DEFAULT_CHAIN",
+    "DEFAULT_TASK_RETRY",
+    "FallbackExhaustedError",
+    "FaultInjector",
+    "FaultSpec",
+    "GraphValidationError",
+    "KernelFaultError",
+    "NegativeCycleError",
+    "ReproError",
+    "RetryPolicy",
+    "SolveBudget",
+    "TaskFailedError",
+    "UnknownMethodError",
+    "active_injector",
+    "as_tracker",
+    "call_with_retry",
+    "default_fault_seed",
+    "inject_faults",
+    "solve_with_fallback",
+]

@@ -1,0 +1,142 @@
+"""Solve budgets: bounded wall-clock, op-count, and memory per solve.
+
+A :class:`SolveBudget` declares limits; :meth:`SolveBudget.start` produces
+a :class:`BudgetTracker` that solvers charge and check at supernode /
+kernel-step granularity.  A blown budget raises
+:class:`~repro.resilience.errors.BudgetExceededError` carrying
+partial-progress statistics — the solve never hangs past its budget and
+never silently returns partial distances.
+
+One tracker may be shared across a whole fallback chain (see
+:mod:`repro.resilience.fallback`), so escalation cannot launder a blown
+budget into a fresh one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.resilience.errors import BudgetExceededError
+
+
+@dataclass(frozen=True)
+class SolveBudget:
+    """Resource limits for one APSP solve (``None`` = unlimited).
+
+    Attributes
+    ----------
+    wall_seconds:
+        Wall-clock ceiling, checked at every charge point.
+    max_ops:
+        Ceiling on scalar semiring operations performed.
+    max_bytes:
+        Ceiling on the *estimated* peak working-set size — dominated by
+        the dense ``n x n`` distance matrix — checked before allocation.
+    """
+
+    wall_seconds: float | None = None
+    max_ops: float | None = None
+    max_bytes: float | None = None
+
+    def start(self, *, units_total: int | None = None) -> "BudgetTracker":
+        """Begin tracking; ``units_total`` sizes the progress report."""
+        return BudgetTracker(self, units_total=units_total)
+
+
+class BudgetTracker:
+    """Mutable per-solve state charging against a :class:`SolveBudget`.
+
+    Passing an already-started tracker where a budget is expected shares
+    the remaining allowance (used by the fallback chain); solvers accept
+    either via :func:`as_tracker`.
+    """
+
+    def __init__(self, budget: SolveBudget, *, units_total: int | None = None) -> None:
+        self.budget = budget
+        self.started_at = time.perf_counter()
+        self.ops = 0.0
+        self.units_done = 0
+        self.units_total = units_total
+
+    def elapsed(self) -> float:
+        """Seconds since the tracker was started."""
+        return time.perf_counter() - self.started_at
+
+    def progress(self, where: str = "") -> dict[str, Any]:
+        """Partial-progress snapshot attached to the abort exception."""
+        out: dict[str, Any] = {
+            "elapsed_seconds": self.elapsed(),
+            "ops": self.ops,
+            "units_done": self.units_done,
+        }
+        if self.units_total is not None:
+            out["units_total"] = self.units_total
+        if where:
+            out["where"] = where
+        return out
+
+    def _fail(self, limit: str, message: str, where: str) -> None:
+        raise BudgetExceededError(
+            message, limit=limit, progress=self.progress(where)
+        )
+
+    def check(self, *, where: str = "") -> None:
+        """Raise when the wall-clock or op budget is exhausted."""
+        b = self.budget
+        if b.wall_seconds is not None and self.elapsed() > b.wall_seconds:
+            self._fail(
+                "wall_seconds",
+                f"solve exceeded wall-clock budget of {b.wall_seconds:g}s",
+                where,
+            )
+        if b.max_ops is not None and self.ops > b.max_ops:
+            self._fail(
+                "max_ops",
+                f"solve exceeded op budget of {b.max_ops:g} semiring ops",
+                where,
+            )
+
+    def charge(self, ops: float = 0.0, *, units: int = 0, where: str = "") -> None:
+        """Account for work done, then re-check the limits."""
+        self.ops += ops
+        self.units_done += units
+        self.check(where=where)
+
+    def check_allocation(self, nbytes: float, *, where: str = "") -> None:
+        """Raise when an upcoming allocation would bust ``max_bytes``."""
+        b = self.budget
+        if b.max_bytes is not None and nbytes > b.max_bytes:
+            self._fail(
+                "max_bytes",
+                f"solve needs ~{nbytes:.3g} bytes, over the "
+                f"{b.max_bytes:.3g}-byte budget",
+                where,
+            )
+
+
+def as_tracker(
+    budget: "SolveBudget | BudgetTracker | float | None",
+    *,
+    units_total: int | None = None,
+) -> BudgetTracker | None:
+    """Normalize a budget argument into a started tracker (or ``None``).
+
+    Accepts ``None``, a bare number (wall-clock seconds shorthand), a
+    :class:`SolveBudget`, or an existing :class:`BudgetTracker` — the last
+    is returned as-is so chained attempts share one allowance.
+    """
+    if budget is None:
+        return None
+    if isinstance(budget, BudgetTracker):
+        if units_total is not None and budget.units_total is None:
+            budget.units_total = units_total
+        return budget
+    if isinstance(budget, (int, float)):
+        budget = SolveBudget(wall_seconds=float(budget))
+    if not isinstance(budget, SolveBudget):
+        raise TypeError(
+            "budget must be None, seconds, a SolveBudget, or a BudgetTracker"
+        )
+    return budget.start(units_total=units_total)

@@ -1,0 +1,122 @@
+"""Typed error hierarchy for the resilient execution layer.
+
+Every failure mode the solver stack can recover from (or report cleanly)
+has a dedicated exception type rooted at :class:`ReproError`.  The leaf
+classes also inherit the builtin exception the library historically raised
+(``ValueError`` / ``RuntimeError``) so pre-existing ``except ValueError``
+call sites and tests keep working.
+
+Hierarchy::
+
+    ReproError
+    ├── GraphValidationError (ValueError)   bad input: NaN / non-finite /
+    │   │                                   negative weights where forbidden
+    │   └── NegativeCycleError              graph has a negative cycle
+    ├── UnknownMethodError (ValueError)     apsp(method=...) not registered
+    ├── KernelFaultError (RuntimeError)     a semiring kernel step failed
+    ├── TaskFailedError (RuntimeError)      a supernode task died after retries
+    ├── BudgetExceededError (RuntimeError)  solve budget exhausted mid-flight
+    └── FallbackExhaustedError (RuntimeError)  every backend in the chain failed
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class ReproError(Exception):
+    """Base class of every typed error raised by the library."""
+
+
+class GraphValidationError(ReproError, ValueError):
+    """The input graph fails a precondition (NaN weight, negativity, ...)."""
+
+
+class NegativeCycleError(GraphValidationError):
+    """The graph contains a negative-weight cycle.
+
+    Attributes
+    ----------
+    witness:
+        A vertex (original numbering) lying on — or reachable into — a
+        negative cycle, or ``None`` when the detector did not produce one.
+    """
+
+    def __init__(self, message: str = "graph contains a negative-weight cycle",
+                 *, witness: int | None = None) -> None:
+        if witness is not None:
+            message = f"{message} (witness vertex {witness})"
+        super().__init__(message)
+        self.witness = witness
+
+
+class UnknownMethodError(ReproError, ValueError):
+    """``apsp`` was asked for a method name that is not registered."""
+
+
+class KernelFaultError(ReproError, RuntimeError):
+    """A semiring kernel invocation failed (possibly injected).
+
+    Attributes
+    ----------
+    site:
+        Kernel name (``"diag"``, ``"panel_rows"``, ``"panel_cols"``,
+        ``"outer"``) where the fault fired.
+    """
+
+    def __init__(self, message: str, *, site: str | None = None) -> None:
+        super().__init__(message)
+        self.site = site
+
+
+class TaskFailedError(ReproError, RuntimeError):
+    """A supernode elimination task failed after exhausting recovery.
+
+    Attributes
+    ----------
+    supernode:
+        Index of the supernode whose elimination failed.
+    attempts:
+        Total attempts made (pool retries + sequential re-run).
+    """
+
+    def __init__(self, message: str, *, supernode: int | None = None,
+                 attempts: int = 1) -> None:
+        super().__init__(message)
+        self.supernode = supernode
+        self.attempts = attempts
+
+
+class BudgetExceededError(ReproError, RuntimeError):
+    """A :class:`~repro.resilience.budget.SolveBudget` limit was hit.
+
+    Attributes
+    ----------
+    limit:
+        Which limit tripped: ``"wall_seconds"``, ``"max_ops"`` or
+        ``"max_bytes"``.
+    progress:
+        Partial-progress statistics at abort time (elapsed seconds, ops
+        charged, work units done/total, where the check fired).
+    """
+
+    def __init__(self, message: str, *, limit: str,
+                 progress: dict[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.limit = limit
+        self.progress = dict(progress or {})
+
+
+class FallbackExhaustedError(ReproError, RuntimeError):
+    """Every backend in the fallback chain failed or was rejected.
+
+    Attributes
+    ----------
+    trail:
+        The per-attempt records (method, status, error, seconds) gathered
+        by :func:`repro.resilience.fallback.solve_with_fallback`.
+    """
+
+    def __init__(self, message: str, *, trail: list | None = None) -> None:
+        super().__init__(message)
+        self.trail = list(trail or [])

@@ -1,0 +1,80 @@
+"""Retry-with-backoff for per-supernode elimination tasks.
+
+Re-running a (possibly partially applied) supernode elimination is safe
+because every min-plus update is *idempotent*: ``min(x, c)`` applied twice
+equals applied once, so a task killed mid-kernel leaves the distance
+matrix in a state from which a clean re-run converges to the same result.
+(NaN corruption is the exception — NaN poisons ``min`` — which is why the
+fallback layer re-verifies results with the APSP certificate instead of
+trusting retries alone.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.resilience.errors import BudgetExceededError, ReproError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-run a failed task and how long to wait.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts including the first (``1`` disables retry).
+    backoff_seconds:
+        Sleep before the first retry; ``0`` retries immediately (the
+        default — suitable for in-process tasks where the failure is not
+        load-induced).
+    backoff_factor:
+        Multiplier applied to the sleep after each failed attempt.
+    """
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+
+    def delay_before(self, attempt: int) -> float:
+        """Sleep before attempt ``attempt`` (2-based; 0 for the first)."""
+        if attempt <= 1 or self.backoff_seconds <= 0:
+            return 0.0
+        return self.backoff_seconds * self.backoff_factor ** (attempt - 2)
+
+
+DEFAULT_TASK_RETRY = RetryPolicy(max_attempts=3, backoff_seconds=0.0)
+
+
+def call_with_retry(
+    fn: Callable[[int], T],
+    policy: RetryPolicy = DEFAULT_TASK_RETRY,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+) -> tuple[T, int]:
+    """Run ``fn(attempt)`` until it succeeds or attempts are exhausted.
+
+    ``fn`` receives the 1-based attempt number (fault-injection draws are
+    keyed on it, so each retry is an independent trial).  Returns
+    ``(result, attempts_used)``.  :class:`BudgetExceededError` is never
+    retried — a blown budget must abort the whole solve promptly.  The
+    last failure is re-raised when every attempt fails.
+    """
+    attempts = max(1, int(policy.max_attempts))
+    last: BaseException | None = None
+    for attempt in range(1, attempts + 1):
+        delay = policy.delay_before(attempt)
+        if delay > 0:
+            sleep(delay)
+        try:
+            return fn(attempt), attempt
+        except BudgetExceededError:
+            raise
+        except ReproError as exc:
+            last = exc
+    assert last is not None
+    raise last

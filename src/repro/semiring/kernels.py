@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.resilience.faults import kernel_site
 from repro.semiring.base import MIN_PLUS, Semiring
 from repro.semiring.minplus import minplus_gemm, semiring_gemm
 
@@ -46,6 +47,7 @@ def floyd_warshall_kernel(
                 semiring.mul(dist[:, k : k + 1], dist[k, :]),
                 out=dist,
             )
+    kernel_site("diag", dist)
     return 2 * b * b * b
 
 
@@ -69,6 +71,7 @@ def panel_update_rows(
         minplus_gemm(diag, panel.copy(), out=panel, accumulate=True)
     else:
         semiring_gemm(semiring, diag, panel.copy(), out=panel, accumulate=True)
+    kernel_site("panel_rows", panel)
     return 2 * b * b * panel.shape[1]
 
 
@@ -87,6 +90,7 @@ def panel_update_cols(
         minplus_gemm(panel.copy(), diag, out=panel, accumulate=True)
     else:
         semiring_gemm(semiring, panel.copy(), diag, out=panel, accumulate=True)
+    kernel_site("panel_cols", panel)
     return 2 * b * b * panel.shape[0]
 
 
@@ -112,4 +116,5 @@ def outer_update(
         semiring_gemm(
             semiring, col_panel, row_panel, out=trailing, accumulate=True
         )
+    kernel_site("outer", trailing)
     return 2 * r * b * row_panel.shape[1]

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cli import main
+from repro.graphs.graph import Graph
 from repro.graphs.generators import grid2d
 from repro.graphs.io import write_matrix_market
 
@@ -106,3 +107,87 @@ def test_query_matches_solve(capsys):
 def test_query_rejects_bad_pairs(bad):
     with pytest.raises(SystemExit):
         main(["query", bad, "--generate", "grid2d:4"])
+
+
+# ----------------------------------------------------------------------
+# Resilience: typed exit codes, fault flags, fallback trail
+# ----------------------------------------------------------------------
+
+def test_exit_code_2_on_invalid_weights(tmp_path, capsys):
+    # The reader takes |w| (SuiteSparse values are lengths), so a NaN —
+    # which survives abs() — is the validation failure reachable from disk.
+    path = tmp_path / "nan.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 nan\n"
+        "3 2 2.0\n"
+    )
+    code = main(["solve", str(path)])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "error:" in captured.err
+    assert "NaN" in captured.err
+
+
+def test_exit_code_2_on_detected_negative_cycle(tmp_path, capsys, monkeypatch):
+    from repro.graphs import io as gio
+
+    # Matrix-Market ingestion clamps weights to |w|, so splice a negative
+    # edge in after loading to exercise the --detect-negative-cycles path.
+    real_read = gio.read_matrix_market
+
+    def negate(path, **kwargs):
+        g = real_read(path, **kwargs)
+        w = g.weights.copy()
+        i, j = int(g.indices[0]), 0  # first stored arc, mirrored below
+        w[0] = -1.0
+        for k in range(g.indptr[i], g.indptr[i + 1]):
+            if g.indices[k] == j:
+                w[k] = -1.0  # keep the CSR symmetric: a negative 2-cycle
+        return Graph(g.indptr, g.indices, w)
+
+    monkeypatch.setattr(gio, "read_matrix_market", negate)
+    p = tmp_path / "g.mtx"
+    write_matrix_market(grid2d(4, 4, seed=0), p)
+    code = main(["solve", str(p), "--detect-negative-cycles"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "negative-weight cycle" in captured.err
+    assert "witness" in captured.err
+
+
+def test_exit_code_3_on_blown_budget(capsys):
+    code = main(["solve", "--generate", "grid2d:8", "--budget-ops", "1"])
+    captured = capsys.readouterr()
+    assert code == 3
+    assert "error:" in captured.err
+    assert "budget" in captured.err
+
+
+def test_exit_code_4_on_exhausted_fallback(capsys, monkeypatch):
+    import repro.resilience.fallback as fb
+
+    # Restrict the chain to two kernel-based backends, then fail every
+    # kernel call: both attempts die and the chain exhausts.
+    monkeypatch.setattr(fb, "DEFAULT_CHAIN", ("superfw", "blocked-fw"))
+    code = main(
+        ["solve", "--generate", "grid2d:6", "--method", "auto",
+         "--fault-kernels", "1.0", "--fault-seed", "0"]
+    )
+    captured = capsys.readouterr()
+    assert code == 4
+    assert "error:" in captured.err
+    assert "fallback chain failed" in captured.err
+
+
+def test_auto_prints_attempt_trail_under_faults(capsys):
+    code = main(
+        ["solve", "--generate", "grid2d:6", "--method", "auto",
+         "--fault-tasks", "0.2", "--fault-seed", "0"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    # The winning backend is reported, plus the per-attempt trail.
+    assert "method: superfw" in out
+    assert "attempt: superfw -> ok" in out

@@ -9,6 +9,7 @@ from repro.graphs.graph import Graph
 from repro.graphs.validation import (
     check_apsp_certificate,
     has_negative_cycle,
+    negative_cycle_witness,
     validate_weights,
 )
 
@@ -83,3 +84,29 @@ def test_certificate_handles_disconnected_inf():
     dist = floyd_warshall(g).dist
     assert np.isinf(dist[0, 2])
     check_apsp_certificate(g, dist)
+
+
+def test_tiny_negative_cycle_on_large_weights():
+    # Regression: the Bellman-Ford fixed-point test used np.allclose, whose
+    # default rtol (1e-5) swallowed a -1e-8 cycle sitting on ~1e6-magnitude
+    # distances — convergence was declared early and the cycle missed.  The
+    # check is now an exact np.array_equal fixed point.
+    big = 1.0e6
+    g = Graph.from_edges(
+        5,
+        [(0, 1, big), (1, 2, big), (2, 3, big), (3, 4, -5e-9)],
+    )
+    assert has_negative_cycle(g)
+    assert negative_cycle_witness(g) is not None
+
+
+def test_tiny_positive_edge_on_large_weights_is_not_a_cycle():
+    # Positive control for the regression above: flip the tiny edge's sign
+    # and the exact fixed-point check must stay quiet.
+    big = 1.0e6
+    g = Graph.from_edges(
+        5,
+        [(0, 1, big), (1, 2, big), (2, 3, big), (3, 4, 5e-9)],
+    )
+    assert not has_negative_cycle(g)
+    assert negative_cycle_witness(g) is None
