@@ -3,7 +3,7 @@
 PYTHON ?= python
 SIZE   ?= 0.5
 
-.PHONY: install test faults bench experiments examples clean all
+.PHONY: install test faults bench bench-engine experiments examples clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -20,6 +20,10 @@ faults:
 
 bench:
 	REPRO_SIZE_FACTOR=$(SIZE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# SemiringGemm engine strategies vs the seed kernel -> BENCH_engine.json.
+bench-engine:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine.py --check
 
 # Regenerate every paper table/figure; tables land in results/.
 experiments:

@@ -72,11 +72,25 @@ def _fault_context(args):
 
 def _cmd_solve(args) -> int:
     from repro.core.api import apsp
+    from repro.semiring.engine import SemiringGemmEngine
 
     graph = _load_graph(args)
     options = {}
     if args.method in ("superfw", "superbfs", "parallel-superfw", "auto"):
         options["seed"] = args.seed
+    engine_methods = (
+        "superfw", "superbfs", "parallel-superfw", "blocked-fw", "auto"
+    )
+    if args.method in engine_methods and (
+        args.engine != "auto" or args.kc is not None
+    ):
+        kwargs = {} if args.kc is None else {"kc": args.kc}
+        options["engine"] = SemiringGemmEngine(args.engine, **kwargs)
+    if args.method in ("parallel-superfw", "auto"):
+        if args.backend != "thread":
+            options["backend"] = args.backend
+        if args.workers is not None:
+            options["num_workers"] = args.workers
     with _fault_context(args):
         result = apsp(
             graph,
@@ -97,6 +111,19 @@ def _cmd_solve(args) -> int:
     print(f"solve time: {result.solve_seconds() * 1e3:.1f} ms")
     if result.ops.total:
         print(f"semiring ops: {result.ops.total:.4g}")
+    if "backend" in result.meta:
+        print(
+            f"backend: {result.meta['backend']} "
+            f"(workers={result.meta['num_workers']})"
+        )
+    engine_stats = result.meta.get("engine")
+    if engine_stats and engine_stats.get("strategies"):
+        parts = ", ".join(
+            f"{name}: {v['calls']} calls / {v['ops']:.3g} ops / "
+            f"{v['seconds'] * 1e3:.1f} ms"
+            for name, v in engine_stats["strategies"].items()
+        )
+        print(f"engine[{engine_stats['strategy']}]: {parts}")
     if offdiag.any():
         print(f"reachable pairs: {int(offdiag.sum())}")
         print(f"mean distance: {result.dist[offdiag].mean():.6g}")
@@ -235,6 +262,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="backend name, or 'auto' for the verified fallback chain",
     )
     solve.add_argument("--out", help="write the distance matrix (.npy)")
+    solve.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", "rank1", "ktiled", "outtiled"],
+        help="min-plus GEMM strategy for the FW-family methods",
+    )
+    solve.add_argument(
+        "--kc",
+        type=int,
+        default=None,
+        help="contraction tile for the ktiled/outtiled engine strategies",
+    )
+    solve.add_argument(
+        "--backend",
+        default="thread",
+        choices=["thread", "process"],
+        help="parallel-superfw executor: threads, or shared-memory processes",
+    )
+    solve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for parallel-superfw (default 4)",
+    )
     solve.add_argument(
         "--detect-negative-cycles",
         action="store_true",

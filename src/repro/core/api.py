@@ -170,7 +170,8 @@ def apsp(
     options:
         Forwarded to the selected backend (e.g. ``leaf_size=...`` for
         SuperFW planning, ``delta=...`` for Δ-stepping,
-        ``num_threads=...`` for the parallel variant).
+        ``num_workers=...`` / ``backend="process"`` for the parallel
+        variant, ``engine="ktiled"`` for the FW family's GEMM strategy).
 
     Returns
     -------

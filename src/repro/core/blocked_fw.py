@@ -17,6 +17,7 @@ from repro.graphs.graph import Graph
 from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
 from repro.resilience.errors import NegativeCycleError
 from repro.semiring.base import MIN_PLUS, Semiring
+from repro.semiring.engine import SemiringGemmEngine, use_engine
 from repro.semiring.kernels import (
     diag_update,
     outer_update,
@@ -91,8 +92,16 @@ def blocked_floyd_warshall(
     block_size: int = 64,
     semiring: Semiring = MIN_PLUS,
     budget: SolveBudget | BudgetTracker | float | None = None,
+    engine: str | SemiringGemmEngine | None = None,
 ) -> APSPResult:
-    """APSP by blocked Floyd-Warshall (the dense *BlockedFw* baseline)."""
+    """APSP by blocked Floyd-Warshall (the dense *BlockedFw* baseline).
+
+    ``engine`` selects the min-plus GEMM strategy for the solve: a
+    strategy name (``"auto"``/``"rank1"``/``"ktiled"``/``"outtiled"``),
+    a prebuilt :class:`~repro.semiring.engine.SemiringGemmEngine`, or
+    ``None`` for the ambient engine.  Per-strategy call/op/time counters
+    land in ``meta["engine"]``.
+    """
     timings = TimingBreakdown()
     ops = OpCounter()
     if hasattr(graph, "to_dense_dist"):
@@ -106,7 +115,8 @@ def blocked_floyd_warshall(
         dist = graph.to_dense_dist()
     else:
         dist = np.array(graph, dtype=np.float64, copy=True)
-    with timings.time("solve"):
+    with timings.time("solve"), use_engine(engine) as eng:
+        engine_before = eng.stats_snapshot()
         blocked_floyd_warshall_inplace(
             dist,
             block_size=block_size,
@@ -121,5 +131,8 @@ def blocked_floyd_warshall(
         method="blocked-fw",
         timings=timings,
         ops=ops,
-        meta={"block_size": block_size},
+        meta={
+            "block_size": block_size,
+            "engine": eng.stats_dict(since=engine_before),
+        },
     )

@@ -30,6 +30,7 @@ from repro.analysis.counters import OpCounter
 from repro.core.superfw import SuperFWPlan, plan_superfw
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
+from repro.semiring.engine import get_engine
 
 
 def multifrontal_dpc(
@@ -91,16 +92,16 @@ def multifrontal_dpc(
         # below ``k`` only).  This is what makes the multifrontal factor
         # bit-identical to the right-looking vertex sweep.
         ops = 0
+        workspace = get_engine().workspace
         for t in range(b):
             if t + 1 >= nf:
                 break
+            r = nf - t - 1
             trailing = front[t + 1 :, t + 1 :]
-            np.minimum(
-                trailing,
-                front[t + 1 :, t : t + 1] + front[t : t + 1, t + 1 :],
-                out=trailing,
-            )
-            ops += 2 * (nf - t - 1) ** 2
+            cand = workspace.buffer("mf-elim", (r, r), front.dtype)
+            np.add(front[t + 1 :, t : t + 1], front[t : t + 1, t + 1 :], out=cand)
+            np.minimum(trailing, cand, out=trailing)
+            ops += 2 * r * r
         counter.add("eliminate", ops)
         # Scatter the factor rows/columns of this supernode.
         w[np.ix_(fidx[:b], fidx)] = np.minimum(

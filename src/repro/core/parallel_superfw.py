@@ -5,20 +5,42 @@ level are pairwise cousins, so their DiagUpdate, PanelUpdates, and the
 ``D×D`` / ``D×A`` / ``A×D`` outer regions touch disjoint parts of the
 distance matrix and run concurrently.  Only the trailing ``A×A``
 accumulations can collide between cousins; following the paper ("those
-blocks are updated sequentially") they are serialized — here with a lock
-around the ⊕-accumulation, which is legal in any order because min-plus
-``⊕`` is associative and commutative.
+blocks are updated sequentially") they are serialized — with a lock
+around the ⊕-accumulation in the threaded backend, and by the
+coordinator applying worker-returned update matrices in the process
+backend.  Any application order is legal because min-plus ``⊕`` is
+associative and commutative — which also makes all three execution
+modes (sequential, thread, process) produce *bit-identical* matrices.
 
-On this sandbox's single core the threaded backend demonstrates
-correctness of the schedule rather than speedup; the wall-clock scaling
-figures are produced by the work-depth simulator in
-:mod:`repro.parallel.scheduler`, replaying the same task DAG.
+Two backends share the schedule:
+
+``backend="thread"``
+    A :class:`~concurrent.futures.ThreadPoolExecutor` over the in-process
+    distance matrix.  NumPy releases the GIL inside its ufunc loops, so
+    the blocked kernels do overlap.
+``backend="process"``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` whose workers
+    attach the permuted distance matrix through
+    :mod:`multiprocessing.shared_memory` — true OS processes, no GIL.
+    Workers write their private D×D/D×A/A×D regions and panels directly
+    into the shared segment and *return* the ``A×A`` contribution for the
+    coordinator to apply.  Fault injection and the GEMM engine
+    configuration are replicated into each worker by the pool
+    initializer, so injected failures, retries, and engine counters
+    behave identically to the other backends.
+
+On this sandbox's single core both backends demonstrate correctness of
+the schedule rather than speedup; the wall-clock scaling figures are
+produced by the work-depth simulator in :mod:`repro.parallel.scheduler`,
+replaying the same task DAG.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import get_context, shared_memory
+from typing import Any
 
 import numpy as np
 
@@ -33,11 +55,79 @@ from repro.resilience.errors import (
     ReproError,
     TaskFailedError,
 )
-from repro.resilience.faults import task_site
+from repro.resilience.faults import (
+    export_fault_state,
+    install_worker_faults,
+    task_kernel_epoch,
+    task_site,
+)
 from repro.resilience.retry import DEFAULT_TASK_RETRY, RetryPolicy, call_with_retry
 from repro.semiring.base import MIN_PLUS, Semiring
+from repro.semiring.engine import SemiringGemmEngine, set_engine, use_engine
 from repro.util.perm import invert_permutation
 from repro.util.timing import TimingBreakdown
+
+#: Per-process state of a pool worker, populated by :func:`_process_init`.
+_WORKER: dict[str, Any] = {}
+
+
+def _process_init(
+    shm_name: str,
+    shape: tuple[int, int],
+    dtype_str: str,
+    structure,
+    exact_panels: bool,
+    engine_config: dict,
+    fault_state: tuple,
+) -> None:
+    """Pool initializer: attach shared memory, replicate engine + faults."""
+    # Workers only *attach* to the coordinator-owned segment.  Under the
+    # ``fork`` start method (which the executor pins) every process talks
+    # to one shared resource tracker, where the duplicate registration is
+    # a set no-op — the coordinator's unlink stays the sole destroyer.
+    shm = shared_memory.SharedMemory(name=shm_name)
+    install_worker_faults(*fault_state)
+    engine = SemiringGemmEngine(**engine_config)
+    set_engine(engine)
+    _WORKER["shm"] = shm
+    _WORKER["dist"] = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=shm.buf)
+    _WORKER["structure"] = structure
+    _WORKER["exact_panels"] = bool(exact_panels)
+    _WORKER["engine"] = engine
+
+
+def _process_eliminate(s: int, retry: RetryPolicy):
+    """Worker task: eliminate supernode ``s`` against the shared matrix.
+
+    Returns ``(used_attempts, counts, aa_payload, engine_strategies)``
+    where ``aa_payload`` is the deferred ``(anc, update)`` A×A
+    contribution (or ``None``) and ``counts`` are the successful
+    attempt's per-category ops.  Failures exhaust ``retry`` *inside* the
+    worker and surface to the coordinator as the underlying exception.
+    """
+    dist = _WORKER["dist"]
+    structure = _WORKER["structure"]
+    engine = _WORKER["engine"]
+    before = engine.stats_snapshot()
+
+    def attempt(attempt_no: int):
+        local = OpCounter()
+        task_kernel_epoch(s, attempt_no)
+        task_site(s, attempt_no)
+        payload = eliminate_supernode(
+            dist,
+            structure,
+            s,
+            exact_panels=_WORKER["exact_panels"],
+            semiring=MIN_PLUS,
+            counter=local,
+            defer_aa=True,
+        )
+        return payload, local
+
+    (payload, local), used = call_with_retry(attempt, retry)
+    strategies = engine.stats_dict(since=before)["strategies"]
+    return used, dict(local.counts), payload, strategies
 
 
 def parallel_superfw(
@@ -45,19 +135,28 @@ def parallel_superfw(
     *,
     plan: SuperFWPlan | None = None,
     num_threads: int = 4,
+    num_workers: int | None = None,
+    backend: str = "thread",
     etree_parallel: bool = True,
     exact_panels: bool = True,
     semiring: Semiring = MIN_PLUS,
     budget: SolveBudget | BudgetTracker | float | None = None,
     retry: RetryPolicy = DEFAULT_TASK_RETRY,
+    engine: str | SemiringGemmEngine | None = None,
     **plan_options,
 ) -> APSPResult:
     """APSP by level-scheduled supernodal Floyd-Warshall.
 
     Parameters
     ----------
-    num_threads:
-        Worker threads for within-level elimination.
+    num_threads / num_workers:
+        Worker count for within-level elimination.  ``num_workers`` (when
+        given) applies to either backend and wins over the legacy
+        ``num_threads``.
+    backend:
+        ``"thread"`` (in-process pool) or ``"process"`` (OS processes
+        over a :mod:`multiprocessing.shared_memory` distance matrix; see
+        the module docstring).  The two produce bit-identical results.
     etree_parallel:
         When false, supernodes are still dispatched through the pool but
         strictly one at a time — the "without eTree parallelism" variant
@@ -70,7 +169,16 @@ def parallel_superfw(
         is re-run *sequentially* on the coordinating thread before the
         level gives up (min-plus updates are idempotent, so re-running a
         partially eliminated supernode is always safe).
+    engine:
+        Min-plus GEMM engine: a strategy name, an engine instance, or
+        ``None`` for the ambient engine.  Process workers rebuild an
+        equivalent engine from its configuration; their per-strategy
+        counters are folded back into ``meta["engine"]``.
     """
+    if backend not in ("thread", "process"):
+        raise ValueError(f"unknown backend {backend!r}; use 'thread' or 'process'")
+    if backend == "process" and semiring is not MIN_PLUS:
+        raise ValueError("backend='process' supports only the min-plus semiring")
     if not (np.isposinf(semiring.zero) and semiring.one == 0.0):
         raise ValueError(
             "parallel_superfw requires the min-plus semiring over graph "
@@ -80,6 +188,7 @@ def parallel_superfw(
         plan = plan_superfw(graph, **plan_options)
     elif plan.graph is not graph:
         raise ValueError("plan was built for a different graph")
+    workers = max(1, num_workers if num_workers is not None else num_threads)
     timings = TimingBreakdown()
     for name, secs in plan.timings.phases.items():
         timings.add(name, secs)
@@ -93,10 +202,82 @@ def parallel_superfw(
         )
     with timings.time("permute"):
         dist = graph.to_dense_dist()[np.ix_(perm, perm)]
-    aa_lock = threading.Lock()
-    counter_lock = threading.Lock()
     ops = OpCounter()
     recovery = {"task_retries": 0, "sequential_reruns": []}
+    levels = structure.level_order()
+    with use_engine(engine) as eng:
+        engine_before = eng.stats_snapshot()
+        with timings.time("solve"):
+            if backend == "process":
+                _run_process(
+                    dist,
+                    structure,
+                    levels,
+                    workers=workers,
+                    etree_parallel=etree_parallel,
+                    exact_panels=exact_panels,
+                    retry=retry,
+                    tracker=tracker,
+                    ops=ops,
+                    recovery=recovery,
+                    eng=eng,
+                )
+            else:
+                _run_threaded(
+                    dist,
+                    structure,
+                    levels,
+                    workers=workers,
+                    etree_parallel=etree_parallel,
+                    exact_panels=exact_panels,
+                    semiring=semiring,
+                    retry=retry,
+                    tracker=tracker,
+                    ops=ops,
+                    recovery=recovery,
+                )
+        engine_stats = eng.stats_dict(since=engine_before)
+    if semiring is MIN_PLUS and np.any(np.diag(dist) < 0):
+        raise NegativeCycleError(
+            witness=int(perm[int(np.argmin(np.diag(dist)))])
+        )
+    iperm = invert_permutation(perm)
+    out = dist[np.ix_(iperm, iperm)]
+    return APSPResult(
+        dist=out,
+        method="parallel-superfw",
+        timings=timings,
+        ops=ops,
+        meta={
+            "plan": plan,
+            "backend": backend,
+            "num_threads": workers,
+            "num_workers": workers,
+            "etree_parallel": etree_parallel,
+            "levels": [g.shape[0] for g in levels],
+            "recovery": recovery,
+            "engine": engine_stats,
+        },
+    )
+
+
+def _run_threaded(
+    dist: np.ndarray,
+    structure,
+    levels,
+    *,
+    workers: int,
+    etree_parallel: bool,
+    exact_panels: bool,
+    semiring: Semiring,
+    retry: RetryPolicy,
+    tracker: BudgetTracker | None,
+    ops: OpCounter,
+    recovery: dict,
+) -> None:
+    """The in-process (GIL-sharing) executor over the level schedule."""
+    aa_lock = threading.Lock()
+    counter_lock = threading.Lock()
 
     def eliminate_once(s: int, attempt: int) -> None:
         local = OpCounter()
@@ -154,35 +335,128 @@ def parallel_superfw(
         for s, exc in failures:
             recover_sequentially(s, exc)
 
-    levels = structure.level_order()
-    with timings.time("solve"):
-        with ThreadPoolExecutor(max_workers=max(1, num_threads)) as pool:
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        if etree_parallel:
+            for group in levels:
+                # Barrier per level: drain every future, then retry
+                # any casualties sequentially before the next level
+                # (cousins only share the locked A×A region, so a
+                # straggler cannot invalidate its siblings' work).
+                drain({s: pool.submit(run, s) for s in group.tolist()})
+        else:
+            for s in range(structure.ns):
+                drain({s: pool.submit(run, s)})
+
+
+def _run_process(
+    dist: np.ndarray,
+    structure,
+    levels,
+    *,
+    workers: int,
+    etree_parallel: bool,
+    exact_panels: bool,
+    retry: RetryPolicy,
+    tracker: BudgetTracker | None,
+    ops: OpCounter,
+    recovery: dict,
+    eng: SemiringGemmEngine,
+) -> None:
+    """The shared-memory process-pool executor over the level schedule.
+
+    The permuted matrix moves into a shared segment for the duration of
+    the solve (workers mutate it through :func:`_process_eliminate`) and
+    is copied back into ``dist`` at the end.  ``fork`` start method: the
+    pool inherits the coordinator cheaply and the initializer still runs,
+    keeping behavior identical under ``spawn`` semantics if changed.
+    """
+    shm = shared_memory.SharedMemory(create=True, size=dist.nbytes)
+    try:
+        shared = np.ndarray(dist.shape, dtype=dist.dtype, buffer=shm.buf)
+        shared[:] = dist
+
+        def recover_sequentially(s: int, cause: BaseException) -> None:
+            recovery["sequential_reruns"].append(int(s))
+            local = OpCounter()
+            try:
+                task_site(s, retry.max_attempts + 1)
+                eliminate_supernode(
+                    shared,
+                    structure,
+                    s,
+                    exact_panels=exact_panels,
+                    semiring=MIN_PLUS,
+                    counter=local,
+                )
+            except BudgetExceededError:
+                raise
+            except ReproError as exc:
+                raise TaskFailedError(
+                    f"supernode {s} failed {retry.max_attempts} pooled "
+                    f"attempts and the sequential re-run: {exc}",
+                    supernode=s,
+                    attempts=retry.max_attempts + 1,
+                ) from cause
+            ops.merge(local)
+            if tracker is not None:
+                tracker.charge(
+                    local.total, units=1, where=f"parallel-superfw:supernode {s}"
+                )
+
+        def drain(pending: dict) -> None:
+            failures: list[tuple[int, BaseException]] = []
+            for s, future in pending.items():
+                try:
+                    used, counts, payload, strategies = future.result()
+                except ReproError as exc:
+                    failures.append((s, exc))
+                    continue
+                if used > 1:
+                    recovery["task_retries"] += used - 1
+                local = OpCounter(counts=dict(counts))
+                ops.merge(local)
+                eng.merge_stats(strategies)
+                if payload is not None:
+                    anc, update = payload
+                    aa = shared[np.ix_(anc, anc)]
+                    np.minimum(aa, update, out=aa)
+                    shared[np.ix_(anc, anc)] = aa
+                if tracker is not None:
+                    tracker.charge(
+                        local.total,
+                        units=1,
+                        where=f"parallel-superfw:supernode {s}",
+                    )
+            for s, exc in failures:
+                recover_sequentially(s, exc)
+
+        init_args = (
+            shm.name,
+            dist.shape,
+            dist.dtype.str,
+            structure,
+            exact_panels,
+            eng.spawn_config(),
+            export_fault_state(),
+        )
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=get_context("fork"),
+            initializer=_process_init,
+            initargs=init_args,
+        ) as pool:
             if etree_parallel:
                 for group in levels:
-                    # Barrier per level: drain every future, then retry
-                    # any casualties sequentially before the next level
-                    # (cousins only share the locked A×A region, so a
-                    # straggler cannot invalidate its siblings' work).
-                    drain({s: pool.submit(run, s) for s in group.tolist()})
+                    drain(
+                        {
+                            s: pool.submit(_process_eliminate, s, retry)
+                            for s in group.tolist()
+                        }
+                    )
             else:
                 for s in range(structure.ns):
-                    drain({s: pool.submit(run, s)})
-    if semiring is MIN_PLUS and np.any(np.diag(dist) < 0):
-        raise NegativeCycleError(
-            witness=int(perm[int(np.argmin(np.diag(dist)))])
-        )
-    iperm = invert_permutation(perm)
-    out = dist[np.ix_(iperm, iperm)]
-    return APSPResult(
-        dist=out,
-        method="parallel-superfw",
-        timings=timings,
-        ops=ops,
-        meta={
-            "plan": plan,
-            "num_threads": num_threads,
-            "etree_parallel": etree_parallel,
-            "levels": [g.shape[0] for g in levels],
-            "recovery": recovery,
-        },
-    )
+                    drain({s: pool.submit(_process_eliminate, s, retry)})
+        dist[:] = shared
+    finally:
+        shm.close()
+        shm.unlink()

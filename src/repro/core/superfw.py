@@ -40,6 +40,7 @@ from repro.resilience.errors import (
 from repro.resilience.faults import task_site
 from repro.resilience.retry import DEFAULT_TASK_RETRY, RetryPolicy, call_with_retry
 from repro.semiring.base import MIN_PLUS, Semiring
+from repro.semiring.engine import SemiringGemmEngine, use_engine
 from repro.semiring.kernels import (
     diag_update,
     outer_update,
@@ -155,14 +156,20 @@ def eliminate_supernode(
     semiring: Semiring = MIN_PLUS,
     counter: OpCounter | None = None,
     aa_lock=None,
-) -> None:
+    defer_aa: bool = False,
+) -> tuple[np.ndarray, np.ndarray] | None:
     """Eliminate one supernode in place on the permuted distance matrix.
 
     Performs DiagUpdate, the two PanelUpdates restricted to
     ``A(s) ∪ D(s)``, and the four-region MinPlus outer product of §3.4.
     ``aa_lock`` (when given) serializes the ``A(s) x A(s)`` trailing
     accumulation, which is the only region two cousin supernodes can share
-    (§3.5) — pass it from the threaded executor.
+    (§3.5) — pass it from the threaded executor.  ``defer_aa`` instead
+    *returns* the ``A×A`` contribution as ``(anc, update)`` without
+    touching that region — the process-pool backend's workers hand it to
+    the coordinator, which applies the ⊕-accumulations itself (the
+    paper's "those blocks are updated sequentially").  Returns ``None``
+    when the region was applied here or is empty.
     """
     counter = counter if counter is not None else OpCounter()
     lo, hi = structure.col_range(s)
@@ -172,7 +179,7 @@ def eliminate_supernode(
     anc = structure.ancestor_vertices(s, exact=exact_panels)
     rows = np.concatenate([desc, anc]) if desc.size or anc.size else desc
     if rows.size == 0:
-        return
+        return None
     col_panel = dist[rows, lo:hi]
     row_panel = dist[lo:hi, rows]
     counter.add("panel", panel_update_cols(col_panel, diag, semiring))
@@ -180,13 +187,13 @@ def eliminate_supernode(
     dist[rows, lo:hi] = col_panel
     dist[lo:hi, rows] = row_panel
     nd_rows = desc.shape[0]
-    if aa_lock is None:
+    if aa_lock is None and not defer_aa:
         trailing = dist[np.ix_(rows, rows)]
         counter.add("outer", outer_update(trailing, col_panel, row_panel, semiring))
         dist[np.ix_(rows, rows)] = trailing
-        return
-    # Threaded path: the D×D, D×A and A×D regions are private to this
-    # supernode within an etree level; only A×A needs the lock.
+        return None
+    # Parallel path: the D×D, D×A and A×D regions are private to this
+    # supernode within an etree level; only A×A is shared between cousins.
     if nd_rows:
         dd = dist[np.ix_(desc, desc)]
         counter.add(
@@ -213,10 +220,13 @@ def eliminate_supernode(
             "outer",
             outer_update(update, col_panel[nd_rows:], row_panel[:, nd_rows:], semiring),
         )
+        if defer_aa:
+            return anc, update
         with aa_lock:
             aa = dist[np.ix_(anc, anc)]
             semiring.add(aa, update, out=aa)
             dist[np.ix_(anc, anc)] = aa
+    return None
 
 
 def superfw(
@@ -228,6 +238,7 @@ def superfw(
     dtype=np.float64,
     budget: SolveBudget | BudgetTracker | float | None = None,
     retry: RetryPolicy = DEFAULT_TASK_RETRY,
+    engine: str | SemiringGemmEngine | None = None,
     **plan_options,
 ) -> APSPResult:
     """APSP by the sequential supernodal Floyd-Warshall (Algorithm 3).
@@ -257,6 +268,12 @@ def superfw(
     retry:
         Per-supernode retry policy.  Re-running a partially eliminated
         supernode is safe because min-plus updates are idempotent.
+    engine:
+        Min-plus GEMM engine for the sweep: a strategy name
+        (``"auto"``/``"rank1"``/``"ktiled"``/``"outtiled"``), a prebuilt
+        :class:`~repro.semiring.engine.SemiringGemmEngine`, or ``None``
+        for the ambient engine.  Per-strategy counters land in
+        ``meta["engine"]``.
 
     Returns
     -------
@@ -289,7 +306,8 @@ def superfw(
     with timings.time("permute"):
         dist = graph.to_dense_dist(dtype=dtype)[np.ix_(perm, perm)]
     task_retries = 0
-    with timings.time("solve"):
+    with timings.time("solve"), use_engine(engine) as eng:
+        engine_before = eng.stats_snapshot()
         for s in range(structure.ns):
 
             def attempt(attempt_no: int, _s: int = s) -> OpCounter:
@@ -339,5 +357,6 @@ def superfw(
             "plan": plan,
             "exact_panels": exact_panels,
             "recovery": {"task_retries": task_retries},
+            "engine": eng.stats_dict(since=engine_before),
         },
     )

@@ -50,17 +50,18 @@ DEFAULT_CHAIN: tuple[str, ...] = ("superfw", "dijkstra", "blocked-fw", "dense-fw
 _METHOD_OPTIONS: dict[str, frozenset[str]] = {
     "superfw": frozenset(
         {"plan", "exact_panels", "dtype", "ordering", "leaf_size",
-         "relax", "max_snode", "small_snode", "seed"}
+         "relax", "max_snode", "small_snode", "seed", "engine"}
     ),
     "superbfs": frozenset(
         {"plan", "exact_panels", "dtype", "leaf_size", "relax",
-         "max_snode", "small_snode", "seed"}
+         "max_snode", "small_snode", "seed", "engine"}
     ),
     "parallel-superfw": frozenset(
-        {"plan", "num_threads", "etree_parallel", "exact_panels",
-         "ordering", "leaf_size", "relax", "max_snode", "small_snode", "seed"}
+        {"plan", "num_threads", "num_workers", "backend", "etree_parallel",
+         "exact_panels", "ordering", "leaf_size", "relax", "max_snode",
+         "small_snode", "seed", "engine"}
     ),
-    "blocked-fw": frozenset({"block_size"}),
+    "blocked-fw": frozenset({"block_size", "engine"}),
     "dense-fw": frozenset({"track_via", "check_negative_cycle"}),
     "dijkstra": frozenset(),
     "boost-dijkstra": frozenset(),

@@ -35,7 +35,7 @@ import os
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -115,6 +115,20 @@ class FaultInjector:
             self._kernel_calls += 1
             return self._kernel_calls
 
+    def reseed_kernel_calls(self, *key) -> None:
+        """Set the kernel-call counter to a deterministic per-task epoch.
+
+        Process-pool workers call this before every elimination attempt:
+        the counter becomes a stable hash of ``(supernode, attempt)``
+        instead of a scheduling-dependent running total, so kernel-fault
+        draws inside a task are reproducible regardless of which worker
+        ran what before it.
+        """
+        with self._lock:
+            self._kernel_calls = int(
+                _draw(self._seed, "kernel-epoch", *key) * 2**31
+            )
+
     # ------------------------------------------------------------------
     # Hook entry points
     # ------------------------------------------------------------------
@@ -187,6 +201,46 @@ def inject_faults(spec: FaultSpec | None = None, **kwargs):
     finally:
         with _ACTIVE_LOCK:
             _ACTIVE = previous
+
+
+def export_fault_state() -> tuple[FaultSpec | None, str | None]:
+    """Picklable fault state for a worker-process initializer.
+
+    Returns ``(spec, env_seed)``: the active injector's spec with its seed
+    *resolved* (so the worker does not depend on its own environment), and
+    the coordinator's raw ``REPRO_FAULT_SEED`` value (propagated even when
+    no injector is installed, so a solve started inside a worker sees the
+    same default seed).
+    """
+    injector = _ACTIVE
+    spec = None
+    if injector is not None:
+        spec = replace(injector.spec, seed=injector._seed)
+    return spec, os.environ.get(_ENV_SEED)
+
+
+def install_worker_faults(spec: FaultSpec | None, env_seed: str | None) -> None:
+    """Install exported fault state in a worker process.
+
+    Counterpart of :func:`export_fault_state`; called from the process
+    pool's initializer.  Unlike :func:`inject_faults` this is not scoped —
+    the injector lives for the worker's lifetime, mirroring how the
+    coordinator's ``with inject_faults(...)`` block outlives the pool.
+    """
+    global _ACTIVE
+    if env_seed is None:
+        os.environ.pop(_ENV_SEED, None)
+    else:
+        os.environ[_ENV_SEED] = env_seed
+    with _ACTIVE_LOCK:
+        _ACTIVE = FaultInjector(spec) if spec is not None else None
+
+
+def task_kernel_epoch(supernode: int, attempt: int) -> None:
+    """Reseed kernel-fault numbering for a task; no-op without injector."""
+    injector = _ACTIVE
+    if injector is not None:
+        injector.reseed_kernel_calls(supernode, attempt)
 
 
 def kernel_site(site: str, block: np.ndarray) -> None:

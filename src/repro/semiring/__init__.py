@@ -19,7 +19,17 @@ from repro.semiring.minplus import (
     minplus_gemm,
     minplus_gemm_flops,
     minplus_inner,
+    result_dtype,
     semiring_gemm,
+)
+from repro.semiring.engine import (
+    STRATEGIES,
+    SemiringGemmEngine,
+    WorkspacePool,
+    get_engine,
+    make_engine,
+    set_engine,
+    use_engine,
 )
 from repro.semiring.kernels import (
     diag_update,
@@ -34,9 +44,14 @@ __all__ = [
     "MAX_PLUS",
     "MIN_MAX",
     "MIN_PLUS",
+    "STRATEGIES",
     "Semiring",
+    "SemiringGemmEngine",
+    "WorkspacePool",
     "diag_update",
     "floyd_warshall_kernel",
+    "get_engine",
+    "make_engine",
     "minplus_closure_scalarcount",
     "minplus_gemm",
     "minplus_gemm_flops",
@@ -44,5 +59,8 @@ __all__ = [
     "outer_update",
     "panel_update_cols",
     "panel_update_rows",
+    "result_dtype",
     "semiring_gemm",
+    "set_engine",
+    "use_engine",
 ]

@@ -12,6 +12,17 @@ SuperFW — is assembled from exactly these primitives:
 All kernels mutate their first argument in place and return the number of
 scalar semiring operations performed, which feeds the operation counters of
 :mod:`repro.analysis.counters`.
+
+Min-plus calls route through the ambient
+:class:`~repro.semiring.engine.SemiringGemmEngine`, which supplies tiled
+kernel strategies and pooled scratch buffers.  The PanelUpdates run fully
+in place — no defensive copy of the panel.  That is legal because every
+caller closes the diagonal block (DiagUpdate) *before* any panel update:
+with ``diag`` transitively closed, a relaxation routed through an
+already-updated panel row costs ``diag[i,t] + (diag[t,s] + panel[s,j]) ≥
+diag[i,s] + panel[s,j]`` — it is dominated by a direct candidate, so the
+in-place sweep returns exactly ``panel ⊕ diag ⊗ panel``.  Generic
+(non-min-plus) semirings keep the copy, since that argument needs ⊕ = min.
 """
 
 from __future__ import annotations
@@ -20,7 +31,8 @@ import numpy as np
 
 from repro.resilience.faults import kernel_site
 from repro.semiring.base import MIN_PLUS, Semiring
-from repro.semiring.minplus import minplus_gemm, semiring_gemm
+from repro.semiring.engine import get_engine
+from repro.semiring.minplus import semiring_gemm
 
 
 def floyd_warshall_kernel(
@@ -30,16 +42,24 @@ def floyd_warshall_kernel(
 
     This is the scalar Algorithm 1 of the paper with the two inner loops
     vectorized: iteration ``k`` performs the rank-1 update
-    ``D ← D ⊕ D[:,k] ⊗ D[k,:]``.
+    ``D ← D ⊕ D[:,k] ⊗ D[k,:]``.  The broadcast temporary comes from the
+    engine's workspace pool (one buffer per thread, reused across calls),
+    and validation plus the fault-injection site run once per call —
+    nothing but the two fused array ops lives inside the ``k`` loop.
 
     Returns the scalar semiring op count (``2 b^3`` for a ``b x b`` block).
     """
-    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+    try:
+        b, b2 = dist.shape
+    except ValueError:
+        raise ValueError("diagonal block must be square") from None
+    if b != b2:
         raise ValueError("diagonal block must be square")
-    b = dist.shape[0]
     if semiring is MIN_PLUS:
+        tmp = get_engine().workspace.buffer("diag", (b, b), dist.dtype)
         for k in range(b):
-            np.minimum(dist, dist[:, k : k + 1] + dist[k, :], out=dist)
+            np.add(dist[:, k : k + 1], dist[k, :], out=tmp)
+            np.minimum(dist, tmp, out=dist)
     else:
         for k in range(b):
             semiring.add(
@@ -63,12 +83,15 @@ def panel_update_rows(
 
     ``panel`` has shape ``(b, c)`` and is updated in place; ``diag`` is the
     already diag-updated ``(b, b)`` block multiplying from the *left*.
+    ``diag`` **must be transitively closed** (every caller runs DiagUpdate
+    first) — that is what makes the copy-free in-place product exact; see
+    the module docstring.
     """
     b = diag.shape[0]
     if diag.shape != (b, b) or panel.shape[0] != b:
         raise ValueError("diag/panel shapes incompatible")
     if semiring is MIN_PLUS:
-        minplus_gemm(diag, panel.copy(), out=panel, accumulate=True)
+        get_engine().gemm(diag, panel, out=panel, accumulate=True)
     else:
         semiring_gemm(semiring, diag, panel.copy(), out=panel, accumulate=True)
     kernel_site("panel_rows", panel)
@@ -81,13 +104,14 @@ def panel_update_cols(
     """PanelUpdate for a block *column*: ``A(:,k) ← A(:,k) ⊕ A(:,k) ⊗ A(k,k)``.
 
     ``panel`` has shape ``(r, b)`` and is updated in place; ``diag``
-    multiplies from the *right*.
+    multiplies from the *right* and must be transitively closed (see
+    :func:`panel_update_rows`).
     """
     b = diag.shape[0]
     if diag.shape != (b, b) or panel.shape[1] != b:
         raise ValueError("diag/panel shapes incompatible")
     if semiring is MIN_PLUS:
-        minplus_gemm(panel.copy(), diag, out=panel, accumulate=True)
+        get_engine().gemm(panel, diag, out=panel, accumulate=True)
     else:
         semiring_gemm(semiring, panel.copy(), diag, out=panel, accumulate=True)
     kernel_site("panel_cols", panel)
@@ -105,13 +129,14 @@ def outer_update(
     ``trailing`` is an ``(r, c)`` region updated in place; ``col_panel`` is
     ``(r, b)`` (the ``A(i,k)`` operand) and ``row_panel`` is ``(b, c)``.
     This is the semiring analogue of the Schur-complement (GEMM) update in
-    Cholesky factorization and dominates the total work (paper §4.1).
+    Cholesky factorization and dominates the total work (paper §4.1) —
+    the engine's tiled strategies target exactly this call.
     """
     r, b = col_panel.shape
     if row_panel.shape[0] != b or trailing.shape != (r, row_panel.shape[1]):
         raise ValueError("outer-update shapes incompatible")
     if semiring is MIN_PLUS:
-        minplus_gemm(col_panel, row_panel, out=trailing, accumulate=True)
+        get_engine().gemm(col_panel, row_panel, out=trailing, accumulate=True)
     else:
         semiring_gemm(
             semiring, col_panel, row_panel, out=trailing, accumulate=True

@@ -27,6 +27,21 @@ def minplus_gemm_flops(m: int, n: int, k: int) -> int:
     return 2 * m * n * k
 
 
+def result_dtype(a: np.ndarray, b: np.ndarray) -> np.dtype:
+    """Output dtype of a min-plus product: the operands' common *float* type.
+
+    Floating operands keep their precision — float32 inputs produce a
+    float32 product, halving memory traffic (and roughly doubling SIMD
+    throughput) versus an unconditional float64 upcast.  Integer and
+    boolean operands still widen to float64, because a min-plus matrix
+    needs ``+inf`` as its structural zero.
+    """
+    dt = np.result_type(a, b)
+    if not np.issubdtype(dt, np.floating):
+        dt = np.result_type(dt, np.float64)
+    return dt
+
+
 def minplus_gemm(
     a: np.ndarray,
     b: np.ndarray,
@@ -65,7 +80,7 @@ def minplus_gemm(
     m, kdim = a.shape
     n = b.shape[1]
     if out is None:
-        out = np.full((m, n), np.inf, dtype=np.result_type(a, b, np.float64))
+        out = np.full((m, n), np.inf, dtype=result_dtype(a, b))
     elif out.shape != (m, n):
         raise ValueError(f"out has shape {out.shape}, expected {(m, n)}")
     elif not accumulate:

@@ -53,9 +53,17 @@ def test_diag_update_is_alias():
     assert np.array_equal(a, b)
 
 
+def _closed(shape, seed=0):
+    """A transitively closed diagonal block — the panel-update precondition."""
+    diag = _rand(shape, seed=seed)
+    np.fill_diagonal(diag, 0.0)
+    diag_update(diag)
+    return diag
+
+
 def test_panel_update_rows_semantics():
-    """A(k,:) <- A(k,:) ⊕ A(k,k) ⊗ A(k,:)."""
-    diag = _rand((3, 3), seed=4)
+    """A(k,:) <- A(k,:) ⊕ A(k,k) ⊗ A(k,:), with A(k,k) already closed."""
+    diag = _closed((3, 3), seed=4)
     panel = _rand((3, 5), seed=5)
     expect = np.minimum(panel, minplus_inner(diag, panel))
     ops = panel_update_rows(panel, diag)
@@ -64,13 +72,39 @@ def test_panel_update_rows_semantics():
 
 
 def test_panel_update_cols_semantics():
-    """A(:,k) <- A(:,k) ⊕ A(:,k) ⊗ A(k,k)."""
-    diag = _rand((3, 3), seed=6)
+    """A(:,k) <- A(:,k) ⊕ A(:,k) ⊗ A(k,k), with A(k,k) already closed."""
+    diag = _closed((3, 3), seed=6)
     panel = _rand((5, 3), seed=7)
     expect = np.minimum(panel, minplus_inner(panel, diag))
     ops = panel_update_cols(panel, diag)
     assert ops == 2 * 3 * 3 * 5
     assert np.allclose(panel, expect)
+
+
+def test_panel_update_in_place_matches_copy_product():
+    """With a closed diag the copy-free update equals the ⊗-with-copy form.
+
+    This is the legality condition for dropping the defensive
+    ``panel.copy()``: relaxations through already-updated rows are
+    dominated by direct candidates when the diag is transitively closed.
+    Exact in exact arithmetic; in floats the re-associated sum
+    ``diag[i,t] + (diag[t,s] + p[s,j])`` can round one ulp below the
+    direct ``diag[i,s] + p[s,j]``, so we allow that single-ulp slack.
+    """
+    for seed in range(8):
+        diag = _closed((6, 6), seed=seed)
+        panel = _rand((6, 9), seed=100 + seed)
+        frozen = panel.copy()
+        panel_update_rows(panel, diag)
+        expect = np.minimum(frozen, minplus_inner(diag, frozen))
+        np.testing.assert_allclose(panel, expect, rtol=1e-13)
+        assert np.all((panel <= expect) | np.isinf(expect))
+        cpanel = _rand((9, 6), seed=200 + seed)
+        frozen = cpanel.copy()
+        panel_update_cols(cpanel, diag)
+        expect = np.minimum(frozen, minplus_inner(frozen, diag))
+        np.testing.assert_allclose(cpanel, expect, rtol=1e-13)
+        assert np.all((cpanel <= expect) | np.isinf(expect))
 
 
 def test_panel_shape_validation():

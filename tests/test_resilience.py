@@ -422,3 +422,23 @@ def test_acceptance_sweep_all_small_graphs():
             r = apsp(g, method="auto")
         check_apsp_certificate(g, r.dist)
         assert r.meta["attempts"][-1]["status"] == "ok", name
+
+
+def test_acceptance_sweep_process_backend(mesh_graph):
+    """The 20%-fault acceptance rate also holds across process workers.
+
+    Failures are injected *inside* the pool processes (the initializer
+    replicates the coordinator's injector), retried there, and any
+    survivors recovered sequentially by the coordinator.
+    """
+    with inject_faults(ACCEPTANCE_FAULTS):
+        r = apsp(
+            mesh_graph,
+            method="parallel-superfw",
+            backend="process",
+            num_workers=2,
+        )
+    check_apsp_certificate(mesh_graph, r.dist)
+    rec = r.meta["recovery"]
+    assert rec["task_retries"] > 0  # the 20% rate must actually fire
+    assert np.array_equal(r.dist, apsp(mesh_graph, method="superfw").dist)
