@@ -3,7 +3,7 @@
 PYTHON ?= python
 SIZE   ?= 0.5
 
-.PHONY: install test faults bench bench-engine experiments examples clean all
+.PHONY: install test faults bench bench-engine bench-plan experiments examples clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -24,6 +24,10 @@ bench:
 # SemiringGemm engine strategies vs the seed kernel -> BENCH_engine.json.
 bench-engine:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine.py --check
+
+# Cold analyze+solve vs warm plan-reusing solves -> BENCH_plan.json.
+bench-plan:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_plan.py --check
 
 # Regenerate every paper table/figure; tables land in results/.
 experiments:

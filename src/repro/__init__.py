@@ -17,6 +17,8 @@ Public surface
 --------------
 * :mod:`repro.core` — SuperFW and every baseline (``apsp`` front-end);
 * :mod:`repro.graphs` — CSR graphs, generators, the Table 3 suite;
+* :mod:`repro.plan` — the analyze/solve split: weight-independent
+  plans, structure-keyed caching, and the multi-solve ``APSPSession``;
 * :mod:`repro.ordering` — nested dissection, BFS/RCM, minimum degree;
 * :mod:`repro.symbolic` — etree, fill, supernodes;
 * :mod:`repro.semiring` — tropical algebra and blocked kernels;
@@ -36,6 +38,7 @@ from repro.graphs import generators
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
 from repro.ordering.nested_dissection import nested_dissection
+from repro.plan import APSPSession, Plan, PlanCache, analyze, structure_hash
 from repro.resilience import (
     BudgetExceededError,
     FallbackExhaustedError,
@@ -54,6 +57,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "APSPResult",
+    "APSPSession",
     "BudgetExceededError",
     "DiGraph",
     "FallbackExhaustedError",
@@ -64,18 +68,22 @@ __all__ = [
     "KernelFaultError",
     "NegativeCycleError",
     "PathOracle",
+    "Plan",
+    "PlanCache",
     "ReproError",
     "RetryPolicy",
     "SolveBudget",
     "SuperFWPlan",
     "TaskFailedError",
     "TreewidthAPSP",
+    "analyze",
     "apsp",
     "available_methods",
     "generators",
     "inject_faults",
     "nested_dissection",
     "plan_superfw",
+    "structure_hash",
     "superfw",
     "__version__",
 ]

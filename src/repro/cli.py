@@ -4,6 +4,9 @@ Usage::
 
     python -m repro solve mygraph.mtx --method superfw --out dist.npy
     python -m repro solve --generate grid2d:24 --method dijkstra
+    python -m repro solve mygraph.mtx --plan-cache .plans/
+    python -m repro plan mygraph.mtx --out mygraph.plan.npz
+    python -m repro plan --inspect mygraph.plan.npz
     python -m repro info mygraph.mtx
     python -m repro experiment fig6a --size-factor 0.4
     python -m repro bench-gemm --sizes 64,128,256
@@ -91,6 +94,21 @@ def _cmd_solve(args) -> int:
             options["backend"] = args.backend
         if args.workers is not None:
             options["num_workers"] = args.workers
+    plan_methods = ("superfw", "superbfs", "parallel-superfw", "auto")
+    if args.plan_cache and args.method in plan_methods:
+        from repro.plan import PlanCache
+
+        cache = PlanCache(directory=args.plan_cache)
+        params = {"seed": args.seed}
+        if args.method == "superbfs":
+            params["ordering"] = "bfs"
+        options["plan"] = cache.get_or_analyze(graph, **params)
+        stats = cache.stats()
+        source = "disk" if stats["disk_hits"] else "analyzed"
+        print(
+            f"plan: {options['plan'].plan_id} ({source}, "
+            f"cache dir {args.plan_cache})"
+        )
     with _fault_context(args):
         result = apsp(
             graph,
@@ -131,6 +149,32 @@ def _cmd_solve(args) -> int:
     if args.out:
         np.save(args.out, result.dist)
         print(f"distance matrix written to {args.out}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.plan import Plan, analyze
+
+    if args.inspect:
+        plan = Plan.load(args.inspect)
+        print(f"plan file: {args.inspect}")
+        for k, v in sorted(plan.describe().items()):
+            print(f"{k}: {v}")
+        return 0
+    graph = _load_graph(args)
+    plan = analyze(
+        graph,
+        ordering=args.ordering,
+        leaf_size=args.leaf_size,
+        seed=args.seed,
+    )
+    print(f"analyzed n={graph.n} in "
+          f"{plan.preprocessing_seconds() * 1e3:.1f} ms")
+    for k, v in sorted(plan.describe().items()):
+        print(f"{k}: {v}")
+    if args.out:
+        plan.save(args.out)
+        print(f"plan written to {args.out}")
     return 0
 
 
@@ -287,6 +331,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker count for parallel-superfw (default 4)",
     )
     solve.add_argument(
+        "--plan-cache",
+        metavar="DIR",
+        help="reuse/persist analyze plans in DIR (plan-aware methods only)",
+    )
+    solve.add_argument(
         "--detect-negative-cycles",
         action="store_true",
         help="run Bellman-Ford up front; exit 2 on a negative cycle",
@@ -327,6 +376,25 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="structural statistics of a graph")
     add_graph_args(info)
     info.set_defaults(func=_cmd_info)
+
+    planp = sub.add_parser(
+        "plan", help="run the analyze phase alone; save or inspect plans"
+    )
+    add_graph_args(planp)
+    planp.add_argument("--out", help="write the plan (.plan.npz)")
+    planp.add_argument(
+        "--inspect",
+        metavar="FILE",
+        help="describe a saved plan instead of analyzing a graph",
+    )
+    planp.add_argument(
+        "--ordering",
+        default="nd",
+        choices=["nd", "bfs", "natural"],
+        help="fill-reducing ordering for the analysis",
+    )
+    planp.add_argument("--leaf-size", type=int, default=32)
+    planp.set_defaults(func=_cmd_plan)
 
     query = sub.add_parser(
         "query", help="point-to-point distances without the full matrix"

@@ -30,13 +30,14 @@ from repro.core.path_doubling import path_doubling
 from repro.core.paths import PathOracle
 from repro.core.result import APSPResult
 from repro.core.superfw import SuperFWPlan, plan_superfw, superfw
-from repro.core.parallel_superfw import parallel_superfw
+from repro.core.parallel_superfw import SharedPlanPool, parallel_superfw
 from repro.core.treewidth import TreewidthAPSP
 
 __all__ = [
     "APSPResult",
     "IncrementalAPSP",
     "PathOracle",
+    "SharedPlanPool",
     "SuperFWPlan",
     "TreewidthAPSP",
     "apply_edge_improvement",

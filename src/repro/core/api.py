@@ -87,11 +87,17 @@ def _treewidth(graph: Graph, **kw) -> APSPResult:
     with Timer() as t:
         dist = solver.all_pairs()
     timings.add("solve", t.elapsed)
+    # Scalars only: stashing the live solver here would pin the dense
+    # factor (and the input graph) in memory for the result's lifetime.
     return APSPResult(
         dist=dist,
         method="treewidth",
         timings=timings,
-        meta={"solver": solver, "width": solver.width},
+        meta={
+            "width": solver.width,
+            "factor_ops": solver.factor_ops,
+            "fill_entries": int(sum(len(c) for c in solver.struct)),
+        },
     )
 
 
@@ -136,6 +142,11 @@ _FW_FAMILY = frozenset(
      "dense-fw", "path-doubling", "treewidth"}
 )
 
+#: Methods that can consume a precomputed :class:`repro.plan.plan.Plan`.
+_PLAN_AWARE = frozenset(
+    {"auto", "superfw", "superbfs", "parallel-superfw", "blocked-fw"}
+)
+
 
 def apsp(
     graph: Graph,
@@ -143,6 +154,7 @@ def apsp(
     *,
     detect_negative_cycles: bool = False,
     budget: SolveBudget | BudgetTracker | float | None = None,
+    plan=None,
     **options,
 ) -> APSPResult:
     """Compute all-pairs shortest paths.
@@ -167,6 +179,14 @@ def apsp(
         enforced at supernode / kernel-step granularity; exceeding it
         raises :class:`~repro.resilience.errors.BudgetExceededError`
         carrying partial-progress statistics.
+    plan:
+        A precomputed :class:`~repro.plan.plan.Plan` (from
+        :func:`repro.plan.analyze` or a
+        :class:`~repro.plan.cache.PlanCache`) reused instead of running
+        ordering + symbolic analysis inline.  The plan is structurally
+        verified against ``graph`` — weight changes pass, edge changes
+        raise :class:`~repro.resilience.errors.PlanMismatchError`.  For
+        repeated solves prefer :class:`~repro.plan.session.APSPSession`.
     options:
         Forwarded to the selected backend (e.g. ``leaf_size=...`` for
         SuperFW planning, ``delta=...`` for Δ-stepping,
@@ -209,4 +229,11 @@ def apsp(
                 f"supported: {sorted(_BUDGET_AWARE)}"
             )
         options["budget"] = budget
+    if plan is not None:
+        if method not in _PLAN_AWARE:
+            raise ReproError(
+                f"method {method!r} cannot consume a precomputed plan; "
+                f"supported: {sorted(_PLAN_AWARE)}"
+            )
+        options["plan"] = plan
     return backend(graph, **options)

@@ -14,6 +14,7 @@ import numpy as np
 from repro.analysis.counters import OpCounter
 from repro.core.result import APSPResult
 from repro.graphs.graph import Graph
+from repro.plan.plan import Plan, TilingPlan, make_tiling
 from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
 from repro.resilience.errors import NegativeCycleError
 from repro.semiring.base import MIN_PLUS, Semiring
@@ -34,16 +35,28 @@ def blocked_floyd_warshall_inplace(
     semiring: Semiring = MIN_PLUS,
     counter: OpCounter | None = None,
     tracker: BudgetTracker | None = None,
+    tiling: TilingPlan | None = None,
 ) -> None:
-    """Run blocked FW in place on a dense matrix."""
+    """Run blocked FW in place on a dense matrix.
+
+    ``tiling`` supplies a precomputed block layout
+    (:class:`~repro.plan.plan.TilingPlan`); otherwise one is derived
+    from ``block_size`` on the fly.
+    """
     n = dist.shape[0]
     if dist.shape != (n, n):
         raise ValueError("dist must be square")
-    if block_size < 1:
-        raise ValueError("block_size must be positive")
+    if tiling is None:
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        tiling = make_tiling(n, block_size)
+    elif tiling.n != n:
+        raise ValueError(
+            f"tiling covers n={tiling.n} but the matrix has n={n}"
+        )
     counter = counter if counter is not None else OpCounter()
-    bounds = list(range(0, n, block_size)) + [n]
-    nb = len(bounds) - 1
+    bounds = tiling.bounds
+    nb = tiling.nb
     for k in range(nb):
         if tracker is not None:
             tracker.charge(
@@ -93,6 +106,7 @@ def blocked_floyd_warshall(
     semiring: Semiring = MIN_PLUS,
     budget: SolveBudget | BudgetTracker | float | None = None,
     engine: str | SemiringGemmEngine | None = None,
+    plan: Plan | TilingPlan | None = None,
 ) -> APSPResult:
     """APSP by blocked Floyd-Warshall (the dense *BlockedFw* baseline).
 
@@ -101,9 +115,19 @@ def blocked_floyd_warshall(
     a prebuilt :class:`~repro.semiring.engine.SemiringGemmEngine`, or
     ``None`` for the ambient engine.  Per-strategy call/op/time counters
     land in ``meta["engine"]``.
+
+    ``plan`` accepts either a :class:`~repro.plan.plan.TilingPlan` or a
+    supernodal :class:`~repro.plan.plan.Plan` (its vertex count seeds
+    the tiling) — the dense baseline's share of the analyze/solve split,
+    and what lets the fallback chain hand one plan to every backend.
     """
     timings = TimingBreakdown()
     ops = OpCounter()
+    tiling: TilingPlan | None = None
+    if isinstance(plan, TilingPlan):
+        tiling = plan
+    elif plan is not None:
+        tiling = plan.tiling(block_size)
     if hasattr(graph, "to_dense_dist"):
         n_est = graph.n
     else:
@@ -123,6 +147,7 @@ def blocked_floyd_warshall(
             semiring=semiring,
             counter=ops,
             tracker=tracker,
+            tiling=tiling,
         )
     if semiring is MIN_PLUS and np.any(np.diag(dist) < 0):
         raise NegativeCycleError(witness=int(np.argmin(np.diag(dist))))

@@ -27,9 +27,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.counters import OpCounter
-from repro.core.superfw import SuperFWPlan, plan_superfw
+from repro.core.superfw import SuperFWPlan
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
+from repro.plan.plan import ensure_plan
 from repro.semiring.engine import get_engine
 
 
@@ -49,10 +50,7 @@ def multifrontal_dpc(
     :class:`~repro.core.treewidth.TreewidthAPSP`, computed tree-bottom-up
     through frontal matrices instead of a right-looking sweep.
     """
-    if plan is None:
-        plan = plan_superfw(graph, **plan_options)
-    elif plan.graph is not graph:
-        raise ValueError("plan was built for a different graph")
+    plan, _ = ensure_plan(plan, graph, **plan_options)
     counter = counter if counter is not None else OpCounter()
     structure = plan.structure
     perm = plan.ordering.perm
@@ -60,8 +58,10 @@ def multifrontal_dpc(
     if np.any(np.diag(w) < 0):
         raise ValueError("graph contains a negative-weight cycle")
 
-    # Vertex-level fill rows per supernode (union over its columns).
-    sym_struct = plan_struct_rows(plan)
+    # Vertex-level fill rows per supernode (union over its columns) —
+    # computed once during analyze; the legacy symbolic recompute only
+    # runs for plans that somehow lack them.
+    sym_struct = plan.snode_rows if plan.snode_rows else plan_struct_rows(plan)
 
     #: update matrices waiting for their parent, keyed by child supernode.
     pending: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -122,13 +122,14 @@ def multifrontal_dpc(
 def plan_struct_rows(plan: SuperFWPlan) -> list[np.ndarray]:
     """Vertex-level fill rows per supernode (strictly above it, sorted).
 
-    Recomputed from the supernodal block structure: the first column of a
-    fundamental supernode carries the full structure, but relaxation can
-    merge supernodes, so the union over member snodes' block rows is used
-    and then restricted to whole vertex indices.
+    Plans built by :func:`repro.plan.analyze` already carry these as
+    ``plan.snode_rows``; this fallback re-derives them with a fresh
+    symbolic pass for hand-assembled plans that lack them.
     """
+    if plan.snode_rows:
+        return plan.snode_rows
     structure = plan.structure
-    pattern = plan.pattern if plan.pattern is not None else plan.graph
+    pattern = plan.pattern
     from repro.symbolic.fill import symbolic_cholesky
 
     sym = symbolic_cholesky(pattern, plan.ordering.perm)

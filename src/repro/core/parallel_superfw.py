@@ -46,8 +46,9 @@ import numpy as np
 
 from repro.analysis.counters import OpCounter
 from repro.core.result import APSPResult
-from repro.core.superfw import SuperFWPlan, eliminate_supernode, plan_superfw
+from repro.core.superfw import SuperFWPlan, eliminate_supernode
 from repro.graphs.graph import Graph
+from repro.plan.plan import Plan, ensure_plan
 from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
 from repro.resilience.errors import (
     BudgetExceededError,
@@ -130,6 +131,82 @@ def _process_eliminate(s: int, retry: RetryPolicy):
     return used, dict(local.counts), payload, strategies
 
 
+class SharedPlanPool:
+    """Persistent process pool bound to one plan's structure.
+
+    The transient process backend pays the pool spin-up — forking
+    workers and shipping the supernodal structure through the
+    initializer — on *every* solve.  A :class:`SharedPlanPool` owns the
+    shared-memory distance segment and the worker pool for the lifetime
+    of a plan, so a session's repeated ``backend="process"`` solves ship
+    the plan exactly once and reuse warm workers thereafter.  Pass it to
+    :func:`parallel_superfw` via ``pool=`` (typically through
+    :class:`repro.plan.session.APSPSession`).
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        *,
+        num_workers: int = 4,
+        exact_panels: bool = True,
+        dtype=np.float64,
+        engine: str | SemiringGemmEngine | None = None,
+    ):
+        self.plan = plan
+        self.num_workers = max(1, num_workers)
+        self.exact_panels = bool(exact_panels)
+        self.dtype = np.dtype(dtype)
+        self.solves = 0
+        self._closed = False
+        n = plan.n
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=max(1, n * n * self.dtype.itemsize)
+        )
+        self.shared = np.ndarray((n, n), dtype=self.dtype, buffer=self._shm.buf)
+        with use_engine(engine) as eng:
+            engine_config = eng.spawn_config()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.num_workers,
+            mp_context=get_context("fork"),
+            initializer=_process_init,
+            initargs=(
+                self._shm.name,
+                (n, n),
+                self.dtype.str,
+                plan.structure,
+                self.exact_panels,
+                engine_config,
+                export_fault_state(),
+            ),
+        )
+
+    def submit(self, s: int, retry: RetryPolicy):
+        """Submit supernode ``s`` to the warm workers."""
+        return self._pool.submit(_process_eliminate, s, retry)
+
+    def close(self) -> None:
+        """Shut the workers down and release the shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown()
+        self._shm.close()
+        self._shm.unlink()
+
+    def __enter__(self) -> "SharedPlanPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
 def parallel_superfw(
     graph: Graph,
     *,
@@ -143,6 +220,7 @@ def parallel_superfw(
     budget: SolveBudget | BudgetTracker | float | None = None,
     retry: RetryPolicy = DEFAULT_TASK_RETRY,
     engine: str | SemiringGemmEngine | None = None,
+    pool: SharedPlanPool | None = None,
     **plan_options,
 ) -> APSPResult:
     """APSP by level-scheduled supernodal Floyd-Warshall.
@@ -174,6 +252,11 @@ def parallel_superfw(
         ``None`` for the ambient engine.  Process workers rebuild an
         equivalent engine from its configuration; their per-strategy
         counters are folded back into ``meta["engine"]``.
+    pool:
+        Optional :class:`SharedPlanPool` for the process backend.  When
+        given, the solve reuses its warm workers and shared segment
+        instead of spinning up (and tearing down) a transient pool —
+        the plan defaults to the pool's and must match it.
     """
     if backend not in ("thread", "process"):
         raise ValueError(f"unknown backend {backend!r}; use 'thread' or 'process'")
@@ -184,14 +267,21 @@ def parallel_superfw(
             "parallel_superfw requires the min-plus semiring over graph "
             "input; use floyd_warshall on a dense matrix for other semirings"
         )
-    if plan is None:
-        plan = plan_superfw(graph, **plan_options)
-    elif plan.graph is not graph:
-        raise ValueError("plan was built for a different graph")
+    if pool is not None:
+        if backend != "process":
+            raise ValueError("pool= requires backend='process'")
+        if plan is None:
+            plan = pool.plan
+        elif plan is not pool.plan:
+            raise ValueError("pool was built for a different plan")
+    plan, plan_reused = ensure_plan(plan, graph, **plan_options)
     workers = max(1, num_workers if num_workers is not None else num_threads)
     timings = TimingBreakdown()
-    for name, secs in plan.timings.phases.items():
-        timings.add(name, secs)
+    if not plan_reused:
+        # Fold analyze timings only for a cold inline plan; warm solves
+        # report zero preprocessing (the analyze/solve split contract).
+        for name, secs in plan.timings.phases.items():
+            timings.add(name, secs)
     perm = plan.ordering.perm
     structure = plan.structure
     tracker = as_tracker(budget, units_total=structure.ns)
@@ -221,6 +311,7 @@ def parallel_superfw(
                     ops=ops,
                     recovery=recovery,
                     eng=eng,
+                    pool=pool,
                 )
             else:
                 _run_threaded(
@@ -250,6 +341,9 @@ def parallel_superfw(
         ops=ops,
         meta={
             "plan": plan,
+            "plan_id": plan.plan_id,
+            "plan_reused": plan_reused,
+            "pooled": pool is not None,
             "backend": backend,
             "num_threads": workers,
             "num_workers": workers,
@@ -361,6 +455,7 @@ def _run_process(
     ops: OpCounter,
     recovery: dict,
     eng: SemiringGemmEngine,
+    pool: SharedPlanPool | None = None,
 ) -> None:
     """The shared-memory process-pool executor over the level schedule.
 
@@ -369,67 +464,32 @@ def _run_process(
     is copied back into ``dist`` at the end.  ``fork`` start method: the
     pool inherits the coordinator cheaply and the initializer still runs,
     keeping behavior identical under ``spawn`` semantics if changed.
+    With a persistent ``pool``, its warm workers and segment are reused
+    and nothing is created or torn down here.
     """
+    if pool is not None:
+        shared = pool.shared
+        shared[:] = dist
+        _drive_process(
+            pool.submit,
+            shared,
+            structure,
+            levels,
+            etree_parallel=etree_parallel,
+            exact_panels=exact_panels,
+            retry=retry,
+            tracker=tracker,
+            ops=ops,
+            recovery=recovery,
+            eng=eng,
+        )
+        dist[:] = shared
+        pool.solves += 1
+        return
     shm = shared_memory.SharedMemory(create=True, size=dist.nbytes)
     try:
         shared = np.ndarray(dist.shape, dtype=dist.dtype, buffer=shm.buf)
         shared[:] = dist
-
-        def recover_sequentially(s: int, cause: BaseException) -> None:
-            recovery["sequential_reruns"].append(int(s))
-            local = OpCounter()
-            try:
-                task_site(s, retry.max_attempts + 1)
-                eliminate_supernode(
-                    shared,
-                    structure,
-                    s,
-                    exact_panels=exact_panels,
-                    semiring=MIN_PLUS,
-                    counter=local,
-                )
-            except BudgetExceededError:
-                raise
-            except ReproError as exc:
-                raise TaskFailedError(
-                    f"supernode {s} failed {retry.max_attempts} pooled "
-                    f"attempts and the sequential re-run: {exc}",
-                    supernode=s,
-                    attempts=retry.max_attempts + 1,
-                ) from cause
-            ops.merge(local)
-            if tracker is not None:
-                tracker.charge(
-                    local.total, units=1, where=f"parallel-superfw:supernode {s}"
-                )
-
-        def drain(pending: dict) -> None:
-            failures: list[tuple[int, BaseException]] = []
-            for s, future in pending.items():
-                try:
-                    used, counts, payload, strategies = future.result()
-                except ReproError as exc:
-                    failures.append((s, exc))
-                    continue
-                if used > 1:
-                    recovery["task_retries"] += used - 1
-                local = OpCounter(counts=dict(counts))
-                ops.merge(local)
-                eng.merge_stats(strategies)
-                if payload is not None:
-                    anc, update = payload
-                    aa = shared[np.ix_(anc, anc)]
-                    np.minimum(aa, update, out=aa)
-                    shared[np.ix_(anc, anc)] = aa
-                if tracker is not None:
-                    tracker.charge(
-                        local.total,
-                        units=1,
-                        where=f"parallel-superfw:supernode {s}",
-                    )
-            for s, exc in failures:
-                recover_sequentially(s, exc)
-
         init_args = (
             shm.name,
             dist.shape,
@@ -444,19 +504,100 @@ def _run_process(
             mp_context=get_context("fork"),
             initializer=_process_init,
             initargs=init_args,
-        ) as pool:
-            if etree_parallel:
-                for group in levels:
-                    drain(
-                        {
-                            s: pool.submit(_process_eliminate, s, retry)
-                            for s in group.tolist()
-                        }
-                    )
-            else:
-                for s in range(structure.ns):
-                    drain({s: pool.submit(_process_eliminate, s, retry)})
+        ) as transient:
+            _drive_process(
+                lambda s, r: transient.submit(_process_eliminate, s, r),
+                shared,
+                structure,
+                levels,
+                etree_parallel=etree_parallel,
+                exact_panels=exact_panels,
+                retry=retry,
+                tracker=tracker,
+                ops=ops,
+                recovery=recovery,
+                eng=eng,
+            )
         dist[:] = shared
     finally:
         shm.close()
         shm.unlink()
+
+
+def _drive_process(
+    submit,
+    shared: np.ndarray,
+    structure,
+    levels,
+    *,
+    etree_parallel: bool,
+    exact_panels: bool,
+    retry: RetryPolicy,
+    tracker: BudgetTracker | None,
+    ops: OpCounter,
+    recovery: dict,
+    eng: SemiringGemmEngine,
+) -> None:
+    """Run the level schedule against an already-attached worker pool."""
+
+    def recover_sequentially(s: int, cause: BaseException) -> None:
+        recovery["sequential_reruns"].append(int(s))
+        local = OpCounter()
+        try:
+            task_site(s, retry.max_attempts + 1)
+            eliminate_supernode(
+                shared,
+                structure,
+                s,
+                exact_panels=exact_panels,
+                semiring=MIN_PLUS,
+                counter=local,
+            )
+        except BudgetExceededError:
+            raise
+        except ReproError as exc:
+            raise TaskFailedError(
+                f"supernode {s} failed {retry.max_attempts} pooled "
+                f"attempts and the sequential re-run: {exc}",
+                supernode=s,
+                attempts=retry.max_attempts + 1,
+            ) from cause
+        ops.merge(local)
+        if tracker is not None:
+            tracker.charge(
+                local.total, units=1, where=f"parallel-superfw:supernode {s}"
+            )
+
+    def drain(pending: dict) -> None:
+        failures: list[tuple[int, BaseException]] = []
+        for s, future in pending.items():
+            try:
+                used, counts, payload, strategies = future.result()
+            except ReproError as exc:
+                failures.append((s, exc))
+                continue
+            if used > 1:
+                recovery["task_retries"] += used - 1
+            local = OpCounter(counts=dict(counts))
+            ops.merge(local)
+            eng.merge_stats(strategies)
+            if payload is not None:
+                anc, update = payload
+                aa = shared[np.ix_(anc, anc)]
+                np.minimum(aa, update, out=aa)
+                shared[np.ix_(anc, anc)] = aa
+            if tracker is not None:
+                tracker.charge(
+                    local.total,
+                    units=1,
+                    where=f"parallel-superfw:supernode {s}",
+                )
+        for s, exc in failures:
+            recover_sequentially(s, exc)
+
+    if etree_parallel:
+        for group in levels:
+            drain({s: submit(s, retry) for s in group.tolist()})
+    else:
+        for s in range(structure.ns):
+            drain({s: submit(s, retry)})

@@ -2,9 +2,12 @@
 
 The pipeline mirrors a supernodal sparse Cholesky solver:
 
-1. **Plan** (:func:`plan_superfw`): fill-reducing ordering + symbolic
-   analysis → a :class:`SuperFWPlan` holding the supernodal structure and
-   elimination tree.  This is the pre-processing whose cost §5.1.4 reports.
+1. **Analyze** (:func:`repro.plan.analyze`, re-exported here as
+   :func:`plan_superfw`): fill-reducing ordering + symbolic analysis →
+   a weight-independent :class:`~repro.plan.plan.Plan` holding the
+   supernodal structure and elimination tree.  This is the
+   pre-processing whose cost §5.1.4 reports — and the phase repeated
+   solves amortize away entirely (see :mod:`repro.plan`).
 2. **Sweep** (:func:`superfw`): eliminate supernodes in ascending order.
    Eliminating supernode ``k`` touches only the index set
    ``A(k) ∪ D(k)`` — its etree ancestors and descendants — because every
@@ -18,18 +21,13 @@ to ``A(k) ∪ D(k)``, which is what turns ``O(n^3)`` into ``O(n^2 |S|)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
-
 import numpy as np
 
 from repro.analysis.counters import OpCounter
 from repro.core.result import APSPResult
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
-from repro.ordering.base import Ordering
-from repro.ordering.bfs import bfs_ordering
-from repro.ordering.nested_dissection import NDResult, nested_dissection
+from repro.plan.plan import Plan, analyze, ensure_plan
 from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
 from repro.resilience.errors import (
     BudgetExceededError,
@@ -47,104 +45,14 @@ from repro.semiring.kernels import (
     panel_update_cols,
     panel_update_rows,
 )
-from repro.symbolic.fill import symbolic_cholesky
-from repro.symbolic.structure import SupernodalStructure, build_structure
+from repro.symbolic.structure import SupernodalStructure
 from repro.util.perm import invert_permutation
 from repro.util.timing import TimingBreakdown
 
-
-@dataclass
-class SuperFWPlan:
-    """Pre-processing product: ordering + symbolic structure.
-
-    Reusable across solves on graphs with the same structure (the sparse
-    direct solver idiom of factorizing many matrices with one symbolic
-    analysis).  ``pattern`` is the undirected graph symbolic analysis ran
-    on — the graph itself, or ``A + Aᵀ`` for a :class:`DiGraph`.
-    """
-
-    graph: Graph | DiGraph
-    ordering: Ordering
-    structure: SupernodalStructure
-    pattern: Graph | None = None
-    nd: NDResult | None = None
-    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
-
-    @property
-    def n(self) -> int:
-        return self.graph.n
-
-    def preprocessing_seconds(self) -> float:
-        """Ordering + symbolic analysis wall-clock."""
-        return self.timings.total
-
-    def describe(self) -> dict[str, Any]:
-        """Summary combining ordering and structure statistics."""
-        out = dict(self.structure.stats())
-        out["ordering"] = self.ordering.method
-        if self.nd is not None:
-            out["top_separator"] = self.nd.top_separator_size
-        return out
-
-
-def plan_superfw(
-    graph: Graph | DiGraph,
-    *,
-    ordering: str | Ordering = "nd",
-    leaf_size: int = 32,
-    relax: bool = True,
-    max_snode: int = 64,
-    small_snode: int = 8,
-    seed: int = 0,
-) -> SuperFWPlan:
-    """Run the pre-processing phase: ordering and symbolic analysis.
-
-    Parameters
-    ----------
-    graph:
-        Undirected :class:`~repro.graphs.graph.Graph`, or a
-        :class:`~repro.graphs.digraph.DiGraph` — in which case ordering
-        and symbolic analysis run on the symmetrized pattern ``A + Aᵀ``
-        (the LU-with-symmetric-pattern idiom).
-    ordering:
-        ``"nd"`` (nested dissection — SuperFW proper), ``"bfs"`` (the
-        SuperBFS baseline), ``"natural"`` (identity), or a prebuilt
-        :class:`~repro.ordering.base.Ordering` — *any* permutation works,
-        since the etree's parents are higher-numbered by construction.
-    leaf_size:
-        ND recursion cut-off.
-    relax / max_snode / small_snode:
-        Supernode amalgamation controls
-        (see :func:`repro.symbolic.supernodes.relax_supernodes`).
-    """
-    timings = TimingBreakdown()
-    nd: NDResult | None = None
-    pattern = graph.symmetrized() if isinstance(graph, DiGraph) else graph
-    with timings.time("ordering"):
-        if isinstance(ordering, Ordering):
-            ordr = ordering
-        elif ordering == "nd":
-            nd = nested_dissection(pattern, leaf_size=leaf_size, seed=seed)
-            ordr = nd.ordering
-        elif ordering == "bfs":
-            ordr = bfs_ordering(pattern)
-        elif ordering == "natural":
-            ordr = Ordering(perm=np.arange(graph.n), method="natural")
-        else:
-            raise ValueError(f"unknown ordering {ordering!r}")
-    with timings.time("symbolic"):
-        sym = symbolic_cholesky(pattern, ordr.perm)
-        structure = build_structure(
-            sym, relax=relax, max_snode=max_snode, small_snode=small_snode
-        )
-    return SuperFWPlan(
-        graph=graph,
-        ordering=ordr,
-        structure=structure,
-        pattern=pattern,
-        nd=nd,
-        timings=timings,
-    )
+#: Historical names, kept as aliases: the plan layer is first-class now
+#: (``repro.plan``), shared by every structure-consuming backend.
+SuperFWPlan = Plan
+plan_superfw = analyze
 
 
 def eliminate_supernode(
@@ -288,13 +196,14 @@ def superfw(
             "(min-plus); closure over other semirings is available through "
             "floyd_warshall on an explicit dense matrix"
         )
-    if plan is None:
-        plan = plan_superfw(graph, **plan_options)
-    elif plan.graph is not graph:
-        raise ValueError("plan was built for a different graph")
+    plan, plan_reused = ensure_plan(plan, graph, **plan_options)
     timings = TimingBreakdown()
-    for name, secs in plan.timings.phases.items():
-        timings.add(name, secs)
+    if not plan_reused:
+        # A cold (inline) plan's analyze cost belongs to this solve; a
+        # reused plan's was paid elsewhere — warm solves report zero
+        # preprocessing, which is the whole point of the split.
+        for name, secs in plan.timings.phases.items():
+            timings.add(name, secs)
     ops = OpCounter()
     perm = plan.ordering.perm
     structure = plan.structure
@@ -355,6 +264,8 @@ def superfw(
         ops=ops,
         meta={
             "plan": plan,
+            "plan_id": plan.plan_id,
+            "plan_reused": plan_reused,
             "exact_panels": exact_panels,
             "recovery": {"task_retries": task_retries},
             "engine": eng.stats_dict(since=engine_before),

@@ -30,6 +30,27 @@ def validate_weights(graph: Graph, *, require_positive: bool = False) -> None:
         )
 
 
+def validate_weight_array(
+    weights: np.ndarray, *, expected_size: int | None = None
+) -> None:
+    """Per-solve weight validation for the analyze/solve split.
+
+    :class:`~repro.plan.session.APSPSession` validates the graph's
+    structure once at construction; each subsequent ``solve(new_weights)``
+    only needs this cheap array check (NaN / finiteness / arc count) —
+    the weights cannot change the structure.
+    """
+    weights = np.asarray(weights)
+    if expected_size is not None and weights.shape != (expected_size,):
+        raise GraphValidationError(
+            f"expected {expected_size} arc weights, got shape {weights.shape}"
+        )
+    if np.any(np.isnan(weights)):
+        raise GraphValidationError("edge weights contain NaN")
+    if not np.all(np.isfinite(weights)):
+        raise GraphValidationError("edge weights must be finite")
+
+
 def _bellman_ford_extra_round(graph: Graph) -> np.ndarray | None:
     """Run ``n`` exact relaxation rounds; return the round-``n+1`` gain mask.
 

@@ -1,0 +1,39 @@
+"""First-class planning layer: analyze once, solve many times.
+
+See :mod:`repro.plan.plan` for the split's rationale.  Public surface:
+
+* :func:`analyze` / :class:`Plan` — the weight-independent analyze phase
+  (ordering, symbolic structure, supernode partition, etree schedule)
+  and its serializable product.
+* :class:`PlanCache` — structure-keyed LRU with an optional disk tier.
+* :class:`APSPSession` — multi-solve front-end with incremental edge
+  updates and a persistent process pool.
+* :func:`structure_hash` / :func:`plan_cache_key` — the weight-excluded
+  keying primitives.
+"""
+
+from repro.plan.cache import PlanCache
+from repro.plan.keys import plan_cache_key, structure_hash
+from repro.plan.plan import (
+    PLAN_FORMAT_VERSION,
+    Plan,
+    TilingPlan,
+    analyze,
+    ensure_plan,
+    make_tiling,
+)
+from repro.plan.session import SESSION_METHODS, APSPSession
+
+__all__ = [
+    "PLAN_FORMAT_VERSION",
+    "Plan",
+    "TilingPlan",
+    "analyze",
+    "ensure_plan",
+    "make_tiling",
+    "PlanCache",
+    "APSPSession",
+    "SESSION_METHODS",
+    "plan_cache_key",
+    "structure_hash",
+]

@@ -1,0 +1,443 @@
+"""The first-class analyze phase: weight-independent solve plans.
+
+Sparse direct solvers get their production wins from the
+*analyze-once, factorize-many* idiom: ordering + symbolic analysis
+depend only on the nonzero pattern and are reused across every numeric
+factorization.  SuperFW inherits the same split — :func:`analyze`
+produces a :class:`Plan` holding the fill-reducing ordering, the
+supernodal block structure, the elimination-tree schedule, and the
+symmetrized pattern, none of which reference edge weights.  Every
+structure-consuming backend (:func:`repro.core.superfw.superfw`,
+:func:`repro.core.parallel_superfw.parallel_superfw`,
+:func:`repro.core.multifrontal.multifrontal_dpc`, the blocked-FW tiling,
+and the ``method="auto"`` fallback chain) consumes a plan instead of
+rebuilding this state inline.
+
+Plans serialize (:meth:`Plan.save` / :meth:`Plan.load`, npz + JSON
+header) for warm starts across processes, and are cached by structure
+key in :class:`repro.plan.cache.PlanCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.ordering.base import Ordering
+from repro.ordering.bfs import bfs_ordering
+from repro.ordering.nested_dissection import NDResult, nested_dissection
+from repro.plan.keys import (
+    PLAN_PARAM_DEFAULTS,
+    plan_id as _plan_id,
+    structure_hash,
+)
+from repro.resilience.errors import PlanMismatchError
+from repro.symbolic.fill import symbolic_cholesky
+from repro.symbolic.structure import SupernodalStructure, build_structure
+from repro.util.timing import TimingBreakdown
+
+#: On-disk format version of :meth:`Plan.save`.
+PLAN_FORMAT_VERSION = 1
+
+
+@dataclass
+class TilingPlan:
+    """Block layout of a dense FW sweep — the blocked baseline's "plan".
+
+    Trivial next to a supernodal plan, but sharing the analyze/solve
+    split keeps every backend on the same lifecycle: compute the layout
+    once, reuse it across solves.
+    """
+
+    n: int
+    block_size: int
+    bounds: np.ndarray  # (nb + 1,) block boundaries, bounds[0] == 0
+
+    @property
+    def nb(self) -> int:
+        """Number of blocks per dimension."""
+        return self.bounds.shape[0] - 1
+
+
+def make_tiling(n: int, block_size: int = 64) -> TilingPlan:
+    """Build the block boundaries for an ``n x n`` blocked FW sweep."""
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    bounds = np.arange(0, n, block_size, dtype=np.int64)
+    bounds = np.append(bounds, np.int64(n))
+    return TilingPlan(n=n, block_size=block_size, bounds=bounds)
+
+
+@dataclass
+class Plan:
+    """Weight-independent product of the analyze phase.
+
+    Holds everything the numeric sweeps need that does *not* depend on
+    edge weights: the ordering, the supernodal structure (which embeds
+    the elimination-tree task schedule via
+    :meth:`~repro.symbolic.structure.SupernodalStructure.level_order`),
+    the symmetrized unit-weight ``pattern`` the symbolic analysis ran
+    on, and the per-supernode vertex-level fill rows the multifrontal
+    schedule assembles fronts from.  Deliberately does **not** hold the
+    input graph — a plan must never keep weight arrays (or whole
+    graphs) alive.
+
+    Attributes
+    ----------
+    key:
+        Structure digest (:func:`repro.plan.keys.structure_hash`) of the
+        graph the plan was built for.  Weight changes preserve it; edge
+        additions/removals change it.
+    params:
+        Analyze parameters the plan was built with (ordering method,
+        leaf size, relaxation thresholds, seed).
+    pattern:
+        Unit-weight undirected pattern the symbolic analysis ran on —
+        the graph's own structure, or ``A + Aᵀ`` for a directed input
+        (stored once here so directed re-solves never recompute the
+        symmetrization).
+    snode_rows:
+        Per-supernode sorted vertex-level fill rows strictly above the
+        supernode — the multifrontal frontal-matrix index sets, computed
+        once during analysis.
+    nd:
+        Separator tree when nested dissection produced the ordering
+        (diagnostic only; not serialized).
+    """
+
+    key: str
+    ordering: Ordering
+    structure: SupernodalStructure
+    pattern: Graph
+    params: dict[str, Any] = field(default_factory=dict)
+    directed: bool = False
+    snode_rows: list[np.ndarray] = field(default_factory=list)
+    nd: NDResult | None = None
+    timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices / matrix columns."""
+        return self.structure.n
+
+    @property
+    def plan_id(self) -> str:
+        """Short stable identifier: structure key + analyze parameters."""
+        return _plan_id(self.key, self.params)
+
+    def preprocessing_seconds(self) -> float:
+        """Ordering + symbolic analysis wall-clock."""
+        return self.timings.total
+
+    def describe(self) -> dict[str, Any]:
+        """Summary combining ordering and structure statistics."""
+        out = dict(self.structure.stats())
+        out["ordering"] = self.ordering.method
+        out["plan_id"] = self.plan_id
+        out["directed"] = self.directed
+        if self.nd is not None:
+            out["top_separator"] = self.nd.top_separator_size
+        return out
+
+    # ------------------------------------------------------------------
+    def matches(self, graph: Graph | DiGraph) -> bool:
+        """True when ``graph`` has exactly the structure this plan indexes.
+
+        Weight-independent by construction: a reweighted graph matches;
+        a graph with one extra edge does not.
+        """
+        if graph.n != self.n or isinstance(graph, DiGraph) != self.directed:
+            return False
+        return structure_hash(graph) == self.key
+
+    def ensure(self, graph: Graph | DiGraph) -> None:
+        """Raise :class:`PlanMismatchError` unless :meth:`matches`."""
+        if not self.matches(graph):
+            raise PlanMismatchError(
+                "plan was built for a different graph structure "
+                f"(plan {self.plan_id} indexes n={self.n}, "
+                f"directed={self.directed})"
+            )
+
+    def tiling(self, block_size: int = 64) -> TilingPlan:
+        """Blocked-FW tiling over this plan's vertex set."""
+        return make_tiling(self.n, block_size)
+
+    # ------------------------------------------------------------------
+    # Serialization: npz payload + JSON header.
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist the plan (npz arrays + JSON header) for warm starts.
+
+        Everything weight-independent round-trips; the diagnostic
+        separator tree (``nd``) and timings do not.
+        """
+        import json
+
+        st = self.structure
+        fill_concat, fill_ptr = _pack_ragged(st.fill_block_rows)
+        rows_concat, rows_ptr = _pack_ragged(self.snode_rows)
+        header = {
+            "format": "repro-plan",
+            "version": PLAN_FORMAT_VERSION,
+            "key": self.key,
+            "plan_id": self.plan_id,
+            "n": self.n,
+            "directed": self.directed,
+            "ordering_method": self.ordering.method,
+            "params": {
+                k: v for k, v in self.params.items() if _is_jsonable(v)
+            },
+            "nnz_factor": int(st.nnz_factor),
+            "fill_in": int(st.fill_in),
+        }
+        with open(path, "wb") as fh:
+            np.savez(
+                fh,
+                header=np.frombuffer(
+                    json.dumps(header).encode(), dtype=np.uint8
+                ),
+                perm=self.ordering.perm,
+                snode_ptr=st.snode_ptr,
+                snode_of=st.snode_of,
+                parent=st.parent,
+                levels=st.levels,
+                fill_concat=fill_concat,
+                fill_ptr=fill_ptr,
+                rows_concat=rows_concat,
+                rows_ptr=rows_ptr,
+                pattern_indptr=self.pattern.indptr,
+                pattern_indices=self.pattern.indices,
+            )
+
+    @classmethod
+    def load(cls, path) -> "Plan":
+        """Load a plan previously written by :meth:`save`."""
+        import json
+
+        with np.load(path) as data:
+            header = json.loads(bytes(data["header"]).decode())
+            if header.get("format") != "repro-plan":
+                raise ValueError(f"{path} is not a repro plan file")
+            if header["version"] > PLAN_FORMAT_VERSION:
+                raise ValueError(
+                    f"plan format v{header['version']} is newer than this "
+                    f"library understands (v{PLAN_FORMAT_VERSION})"
+                )
+            parent = data["parent"]
+            ns = parent.shape[0]
+            children: list[list[int]] = [[] for _ in range(ns)]
+            for s in range(ns):
+                if parent[s] >= 0:
+                    children[int(parent[s])].append(s)
+            structure = SupernodalStructure(
+                snode_ptr=data["snode_ptr"],
+                snode_of=data["snode_of"],
+                parent=parent,
+                children=children,
+                levels=data["levels"],
+                fill_block_rows=_unpack_ragged(
+                    data["fill_concat"], data["fill_ptr"]
+                ),
+                nnz_factor=int(header["nnz_factor"]),
+                fill_in=int(header["fill_in"]),
+            )
+            pattern = Graph(
+                data["pattern_indptr"],
+                data["pattern_indices"],
+                np.ones(data["pattern_indices"].shape[0]),
+            )
+            return cls(
+                key=header["key"],
+                ordering=Ordering(
+                    perm=data["perm"], method=header["ordering_method"]
+                ),
+                structure=structure,
+                pattern=pattern,
+                params=dict(header.get("params", {})),
+                directed=bool(header["directed"]),
+                snode_rows=_unpack_ragged(data["rows_concat"], data["rows_ptr"]),
+            )
+
+
+def _pack_ragged(arrays: list[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate a ragged int-array list into (concat, ptr) CSR form."""
+    ptr = np.zeros(len(arrays) + 1, dtype=np.int64)
+    if arrays:
+        np.cumsum([a.shape[0] for a in arrays], out=ptr[1:])
+        concat = (
+            np.concatenate(arrays).astype(np.int64)
+            if ptr[-1]
+            else np.empty(0, dtype=np.int64)
+        )
+    else:
+        concat = np.empty(0, dtype=np.int64)
+    return concat, ptr
+
+
+def _unpack_ragged(concat: np.ndarray, ptr: np.ndarray) -> list[np.ndarray]:
+    """Inverse of :func:`_pack_ragged`."""
+    return [
+        np.asarray(concat[ptr[i] : ptr[i + 1]], dtype=np.int64)
+        for i in range(ptr.shape[0] - 1)
+    ]
+
+
+def _is_jsonable(value: Any) -> bool:
+    return isinstance(value, (str, int, float, bool, type(None)))
+
+
+def _unit_pattern(graph: Graph | DiGraph) -> Graph:
+    """Unit-weight undirected pattern of ``graph`` (``A + Aᵀ`` when directed).
+
+    Ordering and symbolic analysis consume only this — the coarsener
+    already replaces edge weights with unit multiplicities, so the
+    resulting plan is provably identical to analysis on the weighted
+    graph while referencing no weight array.
+    """
+    if isinstance(graph, DiGraph):
+        return graph.symmetrized()
+    return Graph(
+        graph.indptr.copy(),
+        graph.indices.copy(),
+        np.ones(graph.indices.shape[0]),
+    )
+
+
+def analyze(
+    graph: Graph | DiGraph,
+    *,
+    ordering: str | Ordering = "nd",
+    leaf_size: int = 32,
+    relax: bool = True,
+    max_snode: int = 64,
+    small_snode: int = 8,
+    seed: int = 0,
+) -> Plan:
+    """Run the weight-independent analyze phase: ordering + symbolics.
+
+    Parameters
+    ----------
+    graph:
+        Undirected :class:`~repro.graphs.graph.Graph`, or a
+        :class:`~repro.graphs.digraph.DiGraph` — in which case analysis
+        runs on the symmetrized pattern ``A + Aᵀ`` (the
+        LU-with-symmetric-pattern idiom), which is stored on the plan
+        and reused by every subsequent directed solve.
+    ordering:
+        ``"nd"`` (nested dissection — SuperFW proper), ``"bfs"`` (the
+        SuperBFS baseline), ``"natural"`` (identity), or a prebuilt
+        :class:`~repro.ordering.base.Ordering` — *any* permutation
+        works, since the etree's parents are higher-numbered by
+        construction.
+    leaf_size:
+        ND recursion cut-off.
+    relax / max_snode / small_snode:
+        Supernode amalgamation controls
+        (see :func:`repro.symbolic.supernodes.relax_supernodes`).
+    seed:
+        Seeds the ND partitioner.
+
+    Returns
+    -------
+    Plan
+        Reusable across every solve on a graph with this structure.
+    """
+    timings = TimingBreakdown()
+    nd: NDResult | None = None
+    directed = isinstance(graph, DiGraph)
+    with timings.time("plan-key"):
+        pattern = _unit_pattern(graph)
+        key = structure_hash(graph)
+    with timings.time("ordering"):
+        if isinstance(ordering, Ordering):
+            ordr = ordering
+        elif ordering == "nd":
+            nd = nested_dissection(pattern, leaf_size=leaf_size, seed=seed)
+            ordr = nd.ordering
+        elif ordering == "bfs":
+            ordr = bfs_ordering(pattern)
+        elif ordering == "natural":
+            ordr = Ordering(perm=np.arange(graph.n), method="natural")
+        else:
+            raise ValueError(f"unknown ordering {ordering!r}")
+    with timings.time("symbolic"):
+        sym = symbolic_cholesky(pattern, ordr.perm)
+        structure = build_structure(
+            sym, relax=relax, max_snode=max_snode, small_snode=small_snode
+        )
+        # Vertex-level fill rows per supernode (union over member
+        # columns, restricted above the supernode) — the multifrontal
+        # frontal index sets, derived here while the symbolic factor is
+        # in hand so no backend ever recomputes it.
+        snode_rows: list[np.ndarray] = []
+        for s in range(structure.ns):
+            lo, hi = structure.col_range(s)
+            cols = [sym.col_struct[j] for j in range(lo, hi)]
+            if cols:
+                rows = np.unique(np.concatenate(cols))
+                rows = rows[rows >= hi]
+            else:
+                rows = np.empty(0, dtype=np.int64)
+            snode_rows.append(rows)
+    params = dict(PLAN_PARAM_DEFAULTS)
+    if isinstance(ordering, str):
+        params["ordering"] = ordering
+    else:
+        # Key prebuilt orderings by method + permutation digest (the same
+        # canonical form params_digest would derive), so params stay
+        # JSON-serializable and plan ids survive save/load round trips.
+        import hashlib
+
+        tag = hashlib.sha256(
+            np.asarray(ordering.perm, dtype=np.int64).tobytes()
+        ).hexdigest()[:16]
+        params["ordering"] = f"{ordering.method}:{tag}"
+    params.update(
+        leaf_size=leaf_size,
+        relax=relax,
+        max_snode=max_snode,
+        small_snode=small_snode,
+        seed=seed,
+    )
+    return Plan(
+        key=key,
+        ordering=ordr,
+        structure=structure,
+        pattern=pattern,
+        params=params,
+        directed=directed,
+        snode_rows=snode_rows,
+        nd=nd,
+        timings=timings,
+    )
+
+
+def ensure_plan(
+    plan: Plan | None,
+    graph: Graph | DiGraph,
+    **plan_options,
+) -> tuple[Plan, bool]:
+    """Resolve the (plan, reused) pair every backend starts from.
+
+    ``plan=None`` analyzes inline (cold) and returns ``reused=False``;
+    a provided plan is structurally verified against ``graph`` and
+    returned with ``reused=True`` — weight changes pass, edge changes
+    raise :class:`~repro.resilience.errors.PlanMismatchError`.
+
+    ``trust_plan=True`` (keyword) skips the structural hash check — the
+    session front-end uses it because ``Graph.with_weights`` preserves
+    structure by construction, making the warm-solve path zero
+    preprocessing *and* zero re-hashing.
+    """
+    trust = bool(plan_options.pop("trust_plan", False))
+    if plan is None:
+        return analyze(graph, **plan_options), False
+    if not trust:
+        plan.ensure(graph)
+    return plan, True

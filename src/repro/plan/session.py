@@ -1,0 +1,285 @@
+"""Multi-solve session API: validate once, plan once, solve many times.
+
+:class:`APSPSession` is the front door for the repeated-solve traffic
+pattern the analyze/solve split exists for — road networks with
+time-of-day weights, Monte-Carlo reweighting, iterative refinement.  The
+graph's structure is validated and analyzed exactly once; every
+subsequent :meth:`~APSPSession.solve` call pays only the cheap per-solve
+weight check plus the numeric sweep, and every
+:meth:`~APSPSession.update_edge` routes between an ``O(n²)`` rank-1 fold
+(:func:`repro.core.incremental.apply_edge_improvement`) and a full warm
+re-solve.
+
+For ``backend="process"`` the session owns a persistent
+:class:`~repro.core.parallel_superfw.SharedPlanPool`, so the plan ships
+through the worker initializer once — not once per solve.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.graphs.validation import (
+    negative_cycle_witness,
+    validate_weight_array,
+    validate_weights,
+)
+from repro.plan.cache import PlanCache
+from repro.plan.keys import PLAN_PARAM_DEFAULTS
+from repro.plan.plan import Plan, analyze
+from repro.resilience.errors import NegativeCycleError, UnknownMethodError
+
+#: Solver methods a session can drive (all plan-aware sweeps).
+SESSION_METHODS = ("superfw", "superbfs", "parallel-superfw")
+
+
+class APSPSession:
+    """Amortizes planning and validation across many solves on one structure.
+
+    Parameters
+    ----------
+    graph:
+        Starting graph.  Weight updates keep the session's plan; edge
+        additions invalidate it (re-analyzed lazily on the next solve).
+    method:
+        One of :data:`SESSION_METHODS`.
+    plan:
+        Optional prebuilt plan (structurally verified against ``graph``).
+    cache:
+        Optional :class:`~repro.plan.cache.PlanCache`; analyze results
+        are fetched from / stored into it, including after structural
+        invalidation.
+    detect_negative_cycles:
+        Run Bellman-Ford detection at construction and again whenever
+        the weights change (weight-dependent, so it cannot be hoisted
+        entirely — but structure validation can, and is).
+    options:
+        Analyze parameters (``ordering``, ``leaf_size``, ...) are split
+        off and frozen into the plan; the rest (``backend``,
+        ``num_workers``, ``engine``, ``exact_panels``, ``dtype``, ...)
+        become per-solve defaults that :meth:`solve` can override.
+    """
+
+    def __init__(
+        self,
+        graph: Graph | DiGraph,
+        *,
+        method: str = "superfw",
+        plan: Plan | None = None,
+        cache: PlanCache | None = None,
+        detect_negative_cycles: bool = False,
+        **options: Any,
+    ) -> None:
+        if method not in SESSION_METHODS:
+            raise UnknownMethodError(
+                f"APSPSession supports {list(SESSION_METHODS)}, not {method!r}"
+            )
+        self.method = method
+        self.cache = cache
+        self.detect_negative_cycles = bool(detect_negative_cycles)
+        self._plan_params = {
+            k: options.pop(k) for k in tuple(options) if k in PLAN_PARAM_DEFAULTS
+        }
+        if method == "superbfs":
+            self._plan_params.setdefault("ordering", "bfs")
+        self.solve_options = options
+        self.solves = 0
+        self.fast_updates = 0
+        self.recomputes = 0
+        self._pool = None
+        self._result = None
+        self._closed = False
+        # The once-per-structure work: full validation + plan acquisition.
+        validate_weights(graph)
+        self.graph = graph
+        self.directed = isinstance(graph, DiGraph)
+        if self.detect_negative_cycles:
+            self._check_negative_cycles()
+        if plan is not None:
+            plan.ensure(graph)
+            self.plan = plan
+        else:
+            self.plan = self._acquire_plan(graph)
+
+    # ------------------------------------------------------------------
+    def _acquire_plan(self, graph: Graph | DiGraph) -> Plan:
+        if self.cache is not None:
+            return self.cache.get_or_analyze(graph, **self._plan_params)
+        return analyze(graph, **self._plan_params)
+
+    def _check_negative_cycles(self) -> None:
+        witness = negative_cycle_witness(self.graph)
+        if witness is not None:
+            raise NegativeCycleError(witness=witness)
+
+    def _ensure_pool(self, opts: dict[str, Any]):
+        from repro.core.parallel_superfw import SharedPlanPool
+
+        if self._pool is not None and self._pool.plan is not self.plan:
+            self._pool.close()
+            self._pool = None
+        if self._pool is None:
+            workers = opts.get("num_workers")
+            if workers is None:
+                workers = opts.get("num_threads", 4)
+            self._pool = SharedPlanPool(
+                self.plan,
+                num_workers=workers,
+                exact_panels=opts.get("exact_panels", True),
+                engine=opts.get("engine"),
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------
+    def solve(self, weights: np.ndarray | None = None, **overrides: Any):
+        """Solve APSP on the session's structure, optionally reweighted.
+
+        ``weights`` replaces the full arc-weight array (same layout as
+        ``graph.weights`` — for undirected graphs both mirror slots of
+        each edge).  Structure validation is *not* repeated; only the
+        cheap per-solve array check runs.  The result's
+        ``meta["session"]`` records the solve index and plan identity;
+        warm solves report zero preprocessing seconds.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        weights_changed = False
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            validate_weight_array(
+                weights, expected_size=self.graph.weights.shape[0]
+            )
+            self.graph = self.graph.with_weights(weights)
+            weights_changed = True
+        if self.plan is None:
+            # Structure changed since the last solve (update_edge added
+            # an edge): lazy re-analysis, through the cache when present.
+            self.plan = self._acquire_plan(self.graph)
+        if self.detect_negative_cycles and weights_changed:
+            self._check_negative_cycles()
+        opts = dict(self.solve_options)
+        opts.update(overrides)
+        result = self._dispatch(self.graph, opts)
+        result.meta["session"] = {
+            "solve_index": self.solves,
+            "plan_id": self.plan.plan_id,
+            "method": self.method,
+        }
+        self.solves += 1
+        self._result = result
+        return result
+
+    def _dispatch(self, graph: Graph | DiGraph, opts: dict[str, Any]):
+        if self.method in ("superfw", "superbfs"):
+            from repro.core.superfw import superfw
+
+            return superfw(graph, plan=self.plan, trust_plan=True, **opts)
+        from repro.core.parallel_superfw import parallel_superfw
+
+        if opts.get("backend") == "process":
+            pool = self._ensure_pool(opts)
+            return parallel_superfw(
+                graph, plan=self.plan, trust_plan=True, pool=pool, **opts
+            )
+        return parallel_superfw(graph, plan=self.plan, trust_plan=True, **opts)
+
+    # ------------------------------------------------------------------
+    def _arc_slots(self, u: int, v: int) -> np.ndarray:
+        g = self.graph
+        lo, hi = int(g.indptr[u]), int(g.indptr[u + 1])
+        return lo + np.flatnonzero(g.indices[lo:hi] == v)
+
+    def update_edge(self, u: int, v: int, w: float) -> int:
+        """Set arc/edge ``(u, v)`` to weight ``w``; returns pairs improved.
+
+        Decreases fold into the current matrix as a rank-1 min-plus
+        update (``O(n²)``); increases trigger a full warm re-solve on
+        the unchanged plan (returns ``-1``).  A brand-new edge changes
+        the structure: the distance fold is still exact, but the plan is
+        invalidated and re-analyzed lazily on the next full solve.
+        """
+        if w < 0 and not self.directed:
+            raise ValueError("negative undirected edges form negative 2-cycles")
+        if self._result is None:
+            self.solve()
+        from repro.core.incremental import apply_edge_improvement
+
+        slots = self._arc_slots(u, v)
+        if slots.size == 0:
+            # Structural change: splice the new edge in and drop the plan.
+            self._insert_edge(u, v, w)
+            self.plan = None
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+            self.fast_updates += 1
+            return apply_edge_improvement(
+                self._result.dist, u, v, w, directed=self.directed
+            )
+        old = float(self.graph.weights[slots[0]])
+        new_weights = self.graph.weights.copy()
+        new_weights[slots] = w
+        if not self.directed:
+            new_weights[self._arc_slots(v, u)] = w
+        self.graph = self.graph.with_weights(new_weights)
+        if w <= old:
+            self.fast_updates += 1
+            return apply_edge_improvement(
+                self._result.dist, u, v, w, directed=self.directed
+            )
+        self.recomputes += 1
+        self.solve()
+        return -1
+
+    def _insert_edge(self, u: int, v: int, w: float) -> None:
+        if self.directed:
+            arcs = np.vstack([self.graph.arc_array(), [u, v, w]])
+            self.graph = DiGraph.from_edges(self.graph.n, arcs)
+        else:
+            a, b = min(u, v), max(u, v)
+            edges = np.vstack([self.graph.edge_array(), [a, b, w]])
+            self.graph = Graph.from_edges(self.graph.n, edges)
+
+    # ------------------------------------------------------------------
+    @property
+    def dist(self) -> np.ndarray:
+        """Current distance matrix (solving on first access)."""
+        if self._result is None:
+            self.solve()
+        return self._result.dist
+
+    def distance(self, i: int, j: int) -> float:
+        """Current shortest distance between ``i`` and ``j``."""
+        return float(self.dist[i, j])
+
+    def stats(self) -> dict[str, Any]:
+        """Lifecycle counters plus plan/cache identity."""
+        out = {
+            "method": self.method,
+            "solves": self.solves,
+            "fast_updates": self.fast_updates,
+            "recomputes": self.recomputes,
+            "plan_id": self.plan.plan_id if self.plan is not None else None,
+            "pooled": self._pool is not None,
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "APSPSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -13,6 +13,7 @@ Hierarchy::
     │   │                                   negative weights where forbidden
     │   └── NegativeCycleError              graph has a negative cycle
     ├── UnknownMethodError (ValueError)     apsp(method=...) not registered
+    ├── PlanMismatchError (ValueError)      plan reused on a different structure
     ├── KernelFaultError (RuntimeError)     a semiring kernel step failed
     ├── TaskFailedError (RuntimeError)      a supernode task died after retries
     ├── BudgetExceededError (RuntimeError)  solve budget exhausted mid-flight
@@ -52,6 +53,15 @@ class NegativeCycleError(GraphValidationError):
 
 class UnknownMethodError(ReproError, ValueError):
     """``apsp`` was asked for a method name that is not registered."""
+
+
+class PlanMismatchError(ReproError, ValueError):
+    """A :class:`~repro.plan.plan.Plan` was applied to a graph whose
+    structure differs from the one it was analyzed for.
+
+    Weight-only changes never raise this — plans are weight-independent
+    by construction; edge additions/removals and ``n`` changes do.
+    """
 
 
 class KernelFaultError(ReproError, RuntimeError):

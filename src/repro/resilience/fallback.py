@@ -61,7 +61,7 @@ _METHOD_OPTIONS: dict[str, frozenset[str]] = {
          "exact_panels", "ordering", "leaf_size", "relax", "max_snode",
          "small_snode", "seed", "engine"}
     ),
-    "blocked-fw": frozenset({"block_size", "engine"}),
+    "blocked-fw": frozenset({"plan", "block_size", "engine"}),
     "dense-fw": frozenset({"track_via", "check_negative_cycle"}),
     "dijkstra": frozenset(),
     "boost-dijkstra": frozenset(),
