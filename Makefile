@@ -3,7 +3,7 @@
 PYTHON ?= python
 SIZE   ?= 0.5
 
-.PHONY: install test faults bench bench-engine bench-plan experiments examples clean all
+.PHONY: install test faults bench bench-engine bench-plan bench-obs trace docs-check experiments examples clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -28,6 +28,20 @@ bench-engine:
 # Cold analyze+solve vs warm plan-reusing solves -> BENCH_plan.json.
 bench-plan:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_plan.py --check
+
+# Disabled-tracer overhead gate (<5%) -> BENCH_obs.json.
+bench-obs:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs.py --check
+
+# One traced process-backend solve -> trace.json (open in ui.perfetto.dev).
+trace:
+	PYTHONPATH=src $(PYTHON) -m repro trace --generate grid2d:16 \
+		--method parallel-superfw --backend process --workers 2 \
+		--out trace.json
+
+# Fail when README's CLI flag table drifts from the real --help surface.
+docs-check:
+	$(PYTHON) scripts/docs_check.py
 
 # Regenerate every paper table/figure; tables land in results/.
 experiments:

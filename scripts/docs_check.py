@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Docs drift gate: the README must document the CLI that actually ships.
+
+Walks every subparser of ``repro.cli.build_parser()``, extracts its
+flags from the real ``--help`` text, and fails if any subcommand name
+or flag is missing from README.md (the CLI section's flag table).  Run
+via ``make docs-check``; CI runs it in the trace-smoke job.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import build_parser  # noqa: E402
+
+IGNORED_FLAGS = {"--help"}
+
+
+def cli_surface():
+    """Return {subcommand: sorted flag list} from the live parser."""
+    parser = build_parser()
+    subactions = next(
+        a for a in parser._actions if hasattr(a, "choices") and a.choices
+    )
+    surface = {}
+    for name, sub in subactions.choices.items():
+        flags = set(re.findall(r"--[a-z][a-z-]*", sub.format_help()))
+        surface[name] = sorted(flags - IGNORED_FLAGS)
+    return surface
+
+
+def main():
+    readme = (ROOT / "README.md").read_text()
+    missing = []
+    for name, flags in sorted(cli_surface().items()):
+        if not re.search(rf"\b{re.escape(name)}\b", readme):
+            missing.append(f"subcommand `{name}` not mentioned in README.md")
+        for flag in flags:
+            if f"`{flag}" not in readme and f"{flag} " not in readme:
+                missing.append(f"{name}: flag `{flag}` missing from README.md")
+    if missing:
+        print("README.md has drifted from the CLI --help surface:")
+        for line in missing:
+            print(f"  - {line}")
+        return 1
+    total = sum(len(f) for f in cli_surface().values())
+    print(f"docs-check: README covers all subcommands and {total} flags. OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,14 @@ from repro.core.treewidth import TreewidthAPSP
 from repro.graphs import generators
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    flame_summary,
+    use_tracer,
+    write_chrome_trace,
+    write_csv,
+)
 from repro.ordering.nested_dissection import nested_dissection
 from repro.plan import APSPSession, Plan, PlanCache, analyze, structure_hash
 from repro.resilience import (
@@ -66,6 +74,7 @@ __all__ = [
     "GraphValidationError",
     "IncrementalAPSP",
     "KernelFaultError",
+    "MetricsRegistry",
     "NegativeCycleError",
     "PathOracle",
     "Plan",
@@ -75,15 +84,20 @@ __all__ = [
     "SolveBudget",
     "SuperFWPlan",
     "TaskFailedError",
+    "Tracer",
     "TreewidthAPSP",
     "analyze",
     "apsp",
     "available_methods",
+    "flame_summary",
     "generators",
     "inject_faults",
     "nested_dissection",
     "plan_superfw",
     "structure_hash",
     "superfw",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_csv",
     "__version__",
 ]

@@ -1,44 +1,12 @@
-"""Scalar semiring-operation counting.
+"""Compatibility re-export of :class:`~repro.obs.metrics.OpCounter`.
 
-The asymptotic claims of the paper (§4, Table 2) are about *operation
-counts*, which are machine-independent: every kernel invocation reports its
-``2·m·n·k``-style cost into an :class:`OpCounter`.  The Table 2 and
-work-law benchmarks compare these counts against the analytic models.
+Operation counting moved into the observability subsystem
+(:mod:`repro.obs.metrics`) when tracing/metrics became a first-class
+layer; ``OpCounter`` gained a sibling :class:`~repro.obs.metrics.MetricsRegistry`
+there.  This module keeps the historical import path
+(``from repro.analysis.counters import OpCounter``) working.
 """
 
-from __future__ import annotations
+from repro.obs.metrics import OpCounter
 
-from dataclasses import dataclass, field
-
-
-@dataclass
-class OpCounter:
-    """Accumulates scalar semiring operations by kernel category.
-
-    Categories follow the paper's step names: ``diag``, ``panel``,
-    ``outer`` — plus free-form extras.
-    """
-
-    counts: dict[str, int] = field(default_factory=dict)
-
-    def add(self, category: str, ops: int) -> None:
-        """Add ``ops`` scalar operations to ``category``."""
-        self.counts[category] = self.counts.get(category, 0) + int(ops)
-
-    @property
-    def total(self) -> int:
-        """Total scalar semiring operations across all categories."""
-        return sum(self.counts.values())
-
-    def merge(self, other: "OpCounter") -> None:
-        """Fold another counter's counts into this one."""
-        for key, val in other.counts.items():
-            self.add(key, val)
-
-    def reset(self) -> None:
-        """Zero all categories."""
-        self.counts.clear()
-
-    def __str__(self) -> str:
-        inner = ", ".join(f"{k}={v:.3g}" for k, v in sorted(self.counts.items()))
-        return f"OpCounter(total={self.total:.4g}, {inner})"
+__all__ = ["OpCounter"]

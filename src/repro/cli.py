@@ -8,6 +8,7 @@ Usage::
     python -m repro plan mygraph.mtx --out mygraph.plan.npz
     python -m repro plan --inspect mygraph.plan.npz
     python -m repro info mygraph.mtx
+    python -m repro trace --generate grid2d:16 --backend process --out trace.json
     python -m repro experiment fig6a --size-factor 0.4
     python -m repro bench-gemm --sizes 64,128,256
 
@@ -75,25 +76,9 @@ def _fault_context(args):
 
 def _cmd_solve(args) -> int:
     from repro.core.api import apsp
-    from repro.semiring.engine import SemiringGemmEngine
 
     graph = _load_graph(args)
-    options = {}
-    if args.method in ("superfw", "superbfs", "parallel-superfw", "auto"):
-        options["seed"] = args.seed
-    engine_methods = (
-        "superfw", "superbfs", "parallel-superfw", "blocked-fw", "auto"
-    )
-    if args.method in engine_methods and (
-        args.engine != "auto" or args.kc is not None
-    ):
-        kwargs = {} if args.kc is None else {"kc": args.kc}
-        options["engine"] = SemiringGemmEngine(args.engine, **kwargs)
-    if args.method in ("parallel-superfw", "auto"):
-        if args.backend != "thread":
-            options["backend"] = args.backend
-        if args.workers is not None:
-            options["num_workers"] = args.workers
+    options = _solver_options(args)
     plan_methods = ("superfw", "superbfs", "parallel-superfw", "auto")
     if args.plan_cache and args.method in plan_methods:
         from repro.plan import PlanCache
@@ -149,6 +134,58 @@ def _cmd_solve(args) -> int:
     if args.out:
         np.save(args.out, result.dist)
         print(f"distance matrix written to {args.out}")
+    return 0
+
+
+def _solver_options(args) -> dict:
+    """Backend options shared by the ``solve`` and ``trace`` subcommands."""
+    from repro.semiring.engine import SemiringGemmEngine
+
+    options = {}
+    if args.method in ("superfw", "superbfs", "parallel-superfw", "auto"):
+        options["seed"] = args.seed
+    engine_methods = (
+        "superfw", "superbfs", "parallel-superfw", "blocked-fw", "auto"
+    )
+    if args.method in engine_methods and (
+        args.engine != "auto" or args.kc is not None
+    ):
+        kwargs = {} if args.kc is None else {"kc": args.kc}
+        options["engine"] = SemiringGemmEngine(args.engine, **kwargs)
+    if args.method in ("parallel-superfw", "auto"):
+        if args.backend != "thread":
+            options["backend"] = args.backend
+        if args.workers is not None:
+            options["num_workers"] = args.workers
+    return options
+
+
+def _cmd_trace(args) -> int:
+    from repro.core.api import apsp
+    from repro.obs import Tracer, flame_summary, write_chrome_trace, write_csv
+
+    graph = _load_graph(args)
+    tracer = Tracer()
+    result = apsp(graph, method=args.method, trace=tracer, **_solver_options(args))
+    events = tracer.events()
+    pids = {e.pid for e in events}
+    n_events = write_chrome_trace(
+        tracer, args.out,
+        metadata={"method": result.method, "n": int(graph.n)},
+    )
+    print(f"method: {result.method}")
+    print(f"graph: n={graph.n}, stored arcs={graph.nnz}")
+    print(f"solve time: {result.solve_seconds() * 1e3:.1f} ms")
+    print(
+        f"trace: {n_events} events from {len(pids)} process(es) "
+        f"-> {args.out}"
+    )
+    print("open in https://ui.perfetto.dev or chrome://tracing")
+    if args.csv:
+        rows = write_csv(tracer, args.csv)
+        print(f"csv: {rows} rows -> {args.csv}")
+    print()
+    print(flame_summary(tracer))
     return 0
 
 
@@ -376,6 +413,65 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="structural statistics of a graph")
     add_graph_args(info)
     info.set_defaults(func=_cmd_info)
+
+    trace = sub.add_parser(
+        "trace",
+        help="solve once with structured tracing; export a Chrome trace",
+    )
+    # Graph comes via flags (like `query`) to match the documented
+    # `repro trace --graph FILE --out trace.json` shape.
+    trace.add_argument("--graph", help="Matrix-Market file")
+    trace.add_argument(
+        "--generate",
+        metavar="SPEC",
+        help="generator spec like grid2d:16 or barabasi_albert:300,4",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--directed",
+        action="store_true",
+        help="read the file as arcs / randomly orient the generated graph",
+    )
+    trace.add_argument(
+        "--method",
+        default="parallel-superfw",
+        help="backend to trace (default: parallel-superfw for a level timeline)",
+    )
+    trace.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", "rank1", "ktiled", "outtiled"],
+        help="min-plus GEMM strategy for the FW-family methods",
+    )
+    trace.add_argument(
+        "--kc",
+        type=int,
+        default=None,
+        help="contraction tile for the ktiled/outtiled engine strategies",
+    )
+    trace.add_argument(
+        "--backend",
+        default="thread",
+        choices=["thread", "process"],
+        help="parallel-superfw executor: threads, or shared-memory processes",
+    )
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for parallel-superfw (default 4)",
+    )
+    trace.add_argument(
+        "--out",
+        default="trace.json",
+        help="Chrome trace_event JSON output path (Perfetto-loadable)",
+    )
+    trace.add_argument(
+        "--csv",
+        metavar="FILE",
+        help="also write the span rows as a flat CSV",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     planp = sub.add_parser(
         "plan", help="run the analyze phase alone; save or inspect plans"

@@ -13,6 +13,7 @@ from typing import Callable
 from repro.core.result import APSPResult
 from repro.graphs.graph import Graph
 from repro.graphs.validation import validate_weights
+from repro.obs import coerce_tracer, use_tracer, write_chrome_trace
 from repro.resilience.budget import BudgetTracker, SolveBudget
 from repro.resilience.errors import NegativeCycleError, ReproError, UnknownMethodError
 
@@ -155,6 +156,7 @@ def apsp(
     detect_negative_cycles: bool = False,
     budget: SolveBudget | BudgetTracker | float | None = None,
     plan=None,
+    trace=None,
     **options,
 ) -> APSPResult:
     """Compute all-pairs shortest paths.
@@ -187,6 +189,15 @@ def apsp(
         verified against ``graph`` — weight changes pass, edge changes
         raise :class:`~repro.resilience.errors.PlanMismatchError`.  For
         repeated solves prefer :class:`~repro.plan.session.APSPSession`.
+    trace:
+        Structured-tracing control (see :mod:`repro.obs` and
+        ``docs/OBSERVABILITY.md``).  ``True`` records spans into a fresh
+        :class:`~repro.obs.Tracer` (returned in ``meta["tracer"]``); a
+        string/path additionally writes a Chrome ``trace_event`` JSON
+        there (loadable in Perfetto); an existing tracer instance is
+        used as-is.  A metrics + span-stats summary lands in
+        ``meta["obs"]``.  Tracing never changes the distances — traced
+        and untraced runs are bit-identical.
     options:
         Forwarded to the selected backend (e.g. ``leaf_size=...`` for
         SuperFW planning, ``delta=...`` for Δ-stepping,
@@ -236,4 +247,20 @@ def apsp(
                 f"supported: {sorted(_PLAN_AWARE)}"
             )
         options["plan"] = plan
-    return backend(graph, **options)
+    tracer, trace_path = coerce_tracer(trace)
+    if not tracer.enabled:
+        return backend(graph, **options)
+    with use_tracer(tracer):
+        with tracer.span("apsp", method=method, n=graph.n):
+            result = backend(graph, **options)
+    # Refresh the snapshot after the outer span closed so it covers the
+    # whole call (a backend-written meta["obs"] would miss plan spans
+    # recorded before it ran, and the apsp span itself).
+    result.meta["obs"] = tracer.meta_snapshot()
+    result.meta["tracer"] = tracer
+    if trace_path is not None:
+        write_chrome_trace(
+            tracer, trace_path, metadata={"method": method, "n": int(graph.n)}
+        )
+        result.meta["trace_path"] = trace_path
+    return result

@@ -47,6 +47,7 @@ import numpy as np
 from repro.analysis.counters import OpCounter
 from repro.core.result import APSPResult
 from repro.core.superfw import SuperFWPlan, eliminate_supernode
+from repro.obs import Tracer, get_tracer, use_tracer
 from repro.graphs.graph import Graph
 from repro.plan.plan import Plan, ensure_plan
 from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
@@ -97,13 +98,22 @@ def _process_init(
     _WORKER["engine"] = engine
 
 
-def _process_eliminate(s: int, retry: RetryPolicy):
+def _process_eliminate(s: int, retry: RetryPolicy, traced: bool = False):
     """Worker task: eliminate supernode ``s`` against the shared matrix.
 
-    Returns ``(used_attempts, counts, aa_payload, engine_strategies)``
-    where ``aa_payload`` is the deferred ``(anc, update)`` A×A
-    contribution (or ``None``) and ``counts`` are the successful
-    attempt's per-category ops.  Failures exhaust ``retry`` *inside* the
+    Returns ``(used_attempts, counter, aa_payload, engine_stats, events,
+    metrics)`` where ``aa_payload`` is the deferred ``(anc, update)`` A×A
+    contribution (or ``None``), ``counter`` is the successful attempt's
+    :class:`OpCounter` (merged at the coordinator via
+    :meth:`OpCounter.merge`, the same path the other backends use), and
+    ``engine_stats`` is the per-task engine delta (strategies *and*
+    workspace hits/misses).  When ``traced``, the worker records spans
+    into a per-process :class:`~repro.obs.Tracer` and ships the drained
+    ``events`` plus a ``metrics`` snapshot back for the coordinator to
+    merge — the same round trip the fault-seed plumbing makes in the
+    other direction.  ``traced`` travels per task (not via the pool
+    initializer) so a warm :class:`SharedPlanPool` can serve traced and
+    untraced solves alike.  Failures exhaust ``retry`` *inside* the
     worker and surface to the coordinator as the underlying exception.
     """
     dist = _WORKER["dist"]
@@ -126,9 +136,21 @@ def _process_eliminate(s: int, retry: RetryPolicy):
         )
         return payload, local
 
-    (payload, local), used = call_with_retry(attempt, retry)
-    strategies = engine.stats_dict(since=before)["strategies"]
-    return used, dict(local.counts), payload, strategies
+    events: list = []
+    metrics = None
+    if traced:
+        tracer = _WORKER.get("tracer")
+        if tracer is None:
+            _WORKER["tracer"] = tracer = Tracer()
+        with use_tracer(tracer):
+            (payload, local), used = call_with_retry(attempt, retry)
+        events = [tuple(e) for e in tracer.drain()]
+        metrics = tracer.metrics.snapshot()
+        tracer.metrics.reset()
+    else:
+        (payload, local), used = call_with_retry(attempt, retry)
+    stats = engine.stats_dict(since=before)
+    return used, local, payload, stats, events, metrics
 
 
 class SharedPlanPool:
@@ -181,9 +203,9 @@ class SharedPlanPool:
             ),
         )
 
-    def submit(self, s: int, retry: RetryPolicy):
+    def submit(self, s: int, retry: RetryPolicy, traced: bool = False):
         """Submit supernode ``s`` to the warm workers."""
-        return self._pool.submit(_process_eliminate, s, retry)
+        return self._pool.submit(_process_eliminate, s, retry, traced)
 
     def close(self) -> None:
         """Shut the workers down and release the shared segment."""
@@ -295,9 +317,12 @@ def parallel_superfw(
     ops = OpCounter()
     recovery = {"task_retries": 0, "sequential_reruns": []}
     levels = structure.level_order()
+    tracer = get_tracer()
     with use_engine(engine) as eng:
         engine_before = eng.stats_snapshot()
-        with timings.time("solve"):
+        with timings.time("solve"), tracer.span(
+            "solve", method="parallel-superfw", backend=backend, ns=structure.ns
+        ):
             if backend == "process":
                 _run_process(
                     dist,
@@ -334,6 +359,11 @@ def parallel_superfw(
         )
     iperm = invert_permutation(perm)
     out = dist[np.ix_(iperm, iperm)]
+    if tracer.enabled:
+        tracer.metrics.merge_ops(ops)
+        tracer.metrics.inc("retries.task", recovery["task_retries"])
+        tracer.metrics.inc("workspace.hits", engine_stats["workspace"]["hits"])
+        tracer.metrics.inc("workspace.misses", engine_stats["workspace"]["misses"])
     return APSPResult(
         dist=out,
         method="parallel-superfw",
@@ -351,6 +381,7 @@ def parallel_superfw(
             "levels": [g.shape[0] for g in levels],
             "recovery": recovery,
             "engine": engine_stats,
+            **({"obs": tracer.meta_snapshot()} if tracer.enabled else {}),
         },
     )
 
@@ -429,14 +460,16 @@ def _run_threaded(
         for s, exc in failures:
             recover_sequentially(s, exc)
 
+    tracer = get_tracer()
     with ThreadPoolExecutor(max_workers=workers) as pool:
         if etree_parallel:
-            for group in levels:
+            for index, group in enumerate(levels):
                 # Barrier per level: drain every future, then retry
                 # any casualties sequentially before the next level
                 # (cousins only share the locked A×A region, so a
                 # straggler cannot invalidate its siblings' work).
-                drain({s: pool.submit(run, s) for s in group.tolist()})
+                with tracer.span("level", index=index, size=int(group.shape[0])):
+                    drain({s: pool.submit(run, s) for s in group.tolist()})
         else:
             for s in range(structure.ns):
                 drain({s: pool.submit(run, s)})
@@ -506,7 +539,7 @@ def _run_process(
             initargs=init_args,
         ) as transient:
             _drive_process(
-                lambda s, r: transient.submit(_process_eliminate, s, r),
+                lambda s, r, t=False: transient.submit(_process_eliminate, s, r, t),
                 shared,
                 structure,
                 levels,
@@ -539,6 +572,8 @@ def _drive_process(
     eng: SemiringGemmEngine,
 ) -> None:
     """Run the level schedule against an already-attached worker pool."""
+    tracer = get_tracer()
+    traced = tracer.enabled
 
     def recover_sequentially(s: int, cause: BaseException) -> None:
         recovery["sequential_reruns"].append(int(s))
@@ -572,20 +607,28 @@ def _drive_process(
         failures: list[tuple[int, BaseException]] = []
         for s, future in pending.items():
             try:
-                used, counts, payload, strategies = future.result()
+                used, local, payload, stats, events, metrics = future.result()
             except ReproError as exc:
                 failures.append((s, exc))
                 continue
             if used > 1:
                 recovery["task_retries"] += used - 1
-            local = OpCounter(counts=dict(counts))
+            # Worker op counts fold through OpCounter.merge — the same
+            # accumulation path as the sequential and threaded modes —
+            # and the engine delta carries the worker's workspace
+            # hits/misses, not just its strategy counters.
             ops.merge(local)
-            eng.merge_stats(strategies)
+            eng.merge_stats(stats["strategies"], workspace=stats["workspace"])
+            if events:
+                tracer.merge(events)
+            if metrics:
+                tracer.metrics.merge_snapshot(metrics)
             if payload is not None:
                 anc, update = payload
-                aa = shared[np.ix_(anc, anc)]
-                np.minimum(aa, update, out=aa)
-                shared[np.ix_(anc, anc)] = aa
+                with tracer.span("aa-apply", snode=s):
+                    aa = shared[np.ix_(anc, anc)]
+                    np.minimum(aa, update, out=aa)
+                    shared[np.ix_(anc, anc)] = aa
             if tracker is not None:
                 tracker.charge(
                     local.total,
@@ -596,8 +639,9 @@ def _drive_process(
             recover_sequentially(s, exc)
 
     if etree_parallel:
-        for group in levels:
-            drain({s: submit(s, retry) for s in group.tolist()})
+        for index, group in enumerate(levels):
+            with tracer.span("level", index=index, size=int(group.shape[0])):
+                drain({s: submit(s, retry, traced) for s in group.tolist()})
     else:
         for s in range(structure.ns):
-            drain({s: submit(s, retry)})
+            drain({s: submit(s, retry, traced)})

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.analysis.counters import OpCounter
 from repro.core.result import APSPResult
+from repro.obs import get_tracer
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
 from repro.plan.plan import Plan, analyze, ensure_plan
@@ -80,60 +81,77 @@ def eliminate_supernode(
     when the region was applied here or is empty.
     """
     counter = counter if counter is not None else OpCounter()
-    lo, hi = structure.col_range(s)
-    diag = dist[lo:hi, lo:hi]
-    counter.add("diag", diag_update(diag, semiring))
-    desc = structure.descendant_vertices(s)
-    anc = structure.ancestor_vertices(s, exact=exact_panels)
-    rows = np.concatenate([desc, anc]) if desc.size or anc.size else desc
-    if rows.size == 0:
-        return None
-    col_panel = dist[rows, lo:hi]
-    row_panel = dist[lo:hi, rows]
-    counter.add("panel", panel_update_cols(col_panel, diag, semiring))
-    counter.add("panel", panel_update_rows(row_panel, diag, semiring))
-    dist[rows, lo:hi] = col_panel
-    dist[lo:hi, rows] = row_panel
-    nd_rows = desc.shape[0]
-    if aa_lock is None and not defer_aa:
-        trailing = dist[np.ix_(rows, rows)]
-        counter.add("outer", outer_update(trailing, col_panel, row_panel, semiring))
-        dist[np.ix_(rows, rows)] = trailing
-        return None
-    # Parallel path: the D×D, D×A and A×D regions are private to this
-    # supernode within an etree level; only A×A is shared between cousins.
-    if nd_rows:
-        dd = dist[np.ix_(desc, desc)]
-        counter.add(
-            "outer",
-            outer_update(dd, col_panel[:nd_rows], row_panel[:, :nd_rows], semiring),
-        )
-        dist[np.ix_(desc, desc)] = dd
+    tracer = get_tracer()
+    with tracer.span("eliminate", snode=s):
+        lo, hi = structure.col_range(s)
+        diag = dist[lo:hi, lo:hi]
+        with tracer.span("diag", snode=s):
+            counter.add("diag", diag_update(diag, semiring))
+        desc = structure.descendant_vertices(s)
+        anc = structure.ancestor_vertices(s, exact=exact_panels)
+        rows = np.concatenate([desc, anc]) if desc.size or anc.size else desc
+        if rows.size == 0:
+            return None
+        col_panel = dist[rows, lo:hi]
+        row_panel = dist[lo:hi, rows]
+        with tracer.span("panel", snode=s):
+            counter.add("panel", panel_update_cols(col_panel, diag, semiring))
+            counter.add("panel", panel_update_rows(row_panel, diag, semiring))
+        dist[rows, lo:hi] = col_panel
+        dist[lo:hi, rows] = row_panel
+        nd_rows = desc.shape[0]
+        if aa_lock is None and not defer_aa:
+            with tracer.span("outer", snode=s):
+                trailing = dist[np.ix_(rows, rows)]
+                counter.add(
+                    "outer", outer_update(trailing, col_panel, row_panel, semiring)
+                )
+                dist[np.ix_(rows, rows)] = trailing
+            return None
+        # Parallel path: the D×D, D×A and A×D regions are private to this
+        # supernode within an etree level; only A×A is shared between cousins.
+        if nd_rows:
+            with tracer.span("outer", snode=s):
+                dd = dist[np.ix_(desc, desc)]
+                counter.add(
+                    "outer",
+                    outer_update(
+                        dd, col_panel[:nd_rows], row_panel[:, :nd_rows], semiring
+                    ),
+                )
+                dist[np.ix_(desc, desc)] = dd
+                if anc.size:
+                    da = dist[np.ix_(desc, anc)]
+                    counter.add(
+                        "outer",
+                        outer_update(
+                            da, col_panel[:nd_rows], row_panel[:, nd_rows:], semiring
+                        ),
+                    )
+                    dist[np.ix_(desc, anc)] = da
+                    ad = dist[np.ix_(anc, desc)]
+                    counter.add(
+                        "outer",
+                        outer_update(
+                            ad, col_panel[nd_rows:], row_panel[:, :nd_rows], semiring
+                        ),
+                    )
+                    dist[np.ix_(anc, desc)] = ad
         if anc.size:
-            da = dist[np.ix_(desc, anc)]
-            counter.add(
-                "outer",
-                outer_update(da, col_panel[:nd_rows], row_panel[:, nd_rows:], semiring),
-            )
-            dist[np.ix_(desc, anc)] = da
-            ad = dist[np.ix_(anc, desc)]
-            counter.add(
-                "outer",
-                outer_update(ad, col_panel[nd_rows:], row_panel[:, :nd_rows], semiring),
-            )
-            dist[np.ix_(anc, desc)] = ad
-    if anc.size:
-        update = np.full((anc.shape[0], anc.shape[0]), semiring.zero)
-        counter.add(
-            "outer",
-            outer_update(update, col_panel[nd_rows:], row_panel[:, nd_rows:], semiring),
-        )
-        if defer_aa:
-            return anc, update
-        with aa_lock:
-            aa = dist[np.ix_(anc, anc)]
-            semiring.add(aa, update, out=aa)
-            dist[np.ix_(anc, anc)] = aa
+            with tracer.span("aa", snode=s, deferred=defer_aa):
+                update = np.full((anc.shape[0], anc.shape[0]), semiring.zero)
+                counter.add(
+                    "outer",
+                    outer_update(
+                        update, col_panel[nd_rows:], row_panel[:, nd_rows:], semiring
+                    ),
+                )
+                if defer_aa:
+                    return anc, update
+                with aa_lock:
+                    aa = dist[np.ix_(anc, anc)]
+                    semiring.add(aa, update, out=aa)
+                    dist[np.ix_(anc, anc)] = aa
     return None
 
 
@@ -215,7 +233,10 @@ def superfw(
     with timings.time("permute"):
         dist = graph.to_dense_dist(dtype=dtype)[np.ix_(perm, perm)]
     task_retries = 0
-    with timings.time("solve"), use_engine(engine) as eng:
+    tracer = get_tracer()
+    with timings.time("solve"), use_engine(engine) as eng, tracer.span(
+        "solve", method="superfw", ns=structure.ns
+    ):
         engine_before = eng.stats_snapshot()
         for s in range(structure.ns):
 
@@ -257,6 +278,9 @@ def superfw(
     with timings.time("permute"):
         out = dist[np.ix_(iperm, iperm)]
     method = "superfw" if plan.ordering.method == "nd" else f"superfw-{plan.ordering.method}"
+    if tracer.enabled:
+        tracer.metrics.merge_ops(ops)
+        tracer.metrics.inc("retries.task", task_retries)
     return APSPResult(
         dist=out,
         method=method,
@@ -269,5 +293,6 @@ def superfw(
             "exact_panels": exact_panels,
             "recovery": {"task_retries": task_retries},
             "engine": eng.stats_dict(since=engine_before),
+            **({"obs": tracer.meta_snapshot()} if tracer.enabled else {}),
         },
     )

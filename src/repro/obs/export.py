@@ -1,0 +1,157 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, CSV rows, flame summary.
+
+Three renderings of the same flat :class:`~repro.obs.trace.SpanEvent`
+buffer:
+
+* :func:`write_chrome_trace` — the JSON object format understood by
+  ``chrome://tracing`` and https://ui.perfetto.dev (phase ``"X"``
+  complete events with microsecond ``ts``/``dur``; ``pid``/``tid``
+  become the timeline rows, so the process backend shows one track per
+  worker).
+* :func:`write_csv` — one flat row per event for pandas/spreadsheet
+  analysis, attributes JSON-encoded in the last column.
+* :func:`flame_summary` — a terminal table aggregating span durations
+  by name with a proportional bar, printed by ``repro trace``.
+
+Timestamps are normalised so the earliest event starts at t=0; raw
+``perf_counter_ns`` values are meaningless across machine reboots but
+mutually comparable within one run (including fork()ed workers).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO, Any, Iterable
+
+from repro.obs.trace import NullTracer, SpanEvent, Tracer
+
+#: Keys every exported Chrome event carries (checked by CI trace-smoke).
+CHROME_REQUIRED_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def _event_list(source: Tracer | NullTracer | Iterable[SpanEvent]) -> list[SpanEvent]:
+    if isinstance(source, (Tracer, NullTracer)):
+        return source.events()
+    return list(source)
+
+
+def chrome_trace_events(
+    source: Tracer | NullTracer | Iterable[SpanEvent],
+) -> list[dict[str, Any]]:
+    """Convert events to Chrome ``trace_event`` dicts (µs timestamps,
+    normalised to the earliest event)."""
+    events = _event_list(source)
+    if not events:
+        return []
+    t0 = min(e.ts for e in events)
+    out: list[dict[str, Any]] = []
+    for e in events:
+        rec: dict[str, Any] = {
+            "name": e.name,
+            "ph": e.ph,
+            "ts": (e.ts - t0) / 1000.0,
+            "pid": e.pid,
+            "tid": e.tid,
+            "cat": "repro",
+        }
+        if e.ph == "X":
+            rec["dur"] = e.dur / 1000.0
+        if e.ph == "i":
+            rec["s"] = "t"  # instant scope: thread
+        if e.args:
+            rec["args"] = dict(e.args)
+        out.append(rec)
+    return out
+
+
+def write_chrome_trace(
+    source: Tracer | NullTracer | Iterable[SpanEvent],
+    path_or_file: str | IO[str],
+    *,
+    metadata: dict[str, Any] | None = None,
+) -> int:
+    """Write the Chrome JSON object format to ``path_or_file``.
+
+    Returns the number of trace events written.  ``metadata`` lands in
+    the top-level ``otherData`` field (Perfetto shows it in the trace
+    info dialog).
+    """
+    events = chrome_trace_events(source)
+    doc: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        doc["otherData"] = metadata
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+    else:
+        json.dump(doc, path_or_file)
+    return len(events)
+
+
+#: Column order of :func:`write_csv`.
+CSV_FIELDS = ("name", "ph", "ts_us", "dur_us", "pid", "tid", "args")
+
+
+def write_csv(
+    source: Tracer | NullTracer | Iterable[SpanEvent],
+    path_or_file: str | IO[str],
+) -> int:
+    """Write one CSV row per event; returns the row count."""
+    events = _event_list(source)
+    t0 = min((e.ts for e in events), default=0)
+
+    def _rows(fh: IO[str]) -> int:
+        writer = csv.writer(fh)
+        writer.writerow(CSV_FIELDS)
+        for e in events:
+            writer.writerow(
+                [e.name, e.ph, (e.ts - t0) / 1000.0, e.dur / 1000.0,
+                 e.pid, e.tid, json.dumps(e.args, sort_keys=True, default=str)]
+            )
+        return len(events)
+
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "w", encoding="utf-8", newline="") as fh:
+            return _rows(fh)
+    return _rows(path_or_file)
+
+
+def flame_summary(
+    source: Tracer | NullTracer | Iterable[SpanEvent],
+    *,
+    width: int = 28,
+) -> str:
+    """Render a terminal table of span totals, widest span first.
+
+    One line per span name: count, total/mean/max milliseconds, and a
+    bar proportional to the span's share of the largest total.
+    """
+    events = [e for e in _event_list(source) if e.ph == "X"]
+    if not events:
+        return "(no spans recorded)"
+    stats: dict[str, dict[str, float]] = {}
+    for e in events:
+        s = stats.setdefault(e.name, {"count": 0, "total": 0, "max": 0})
+        s["count"] += 1
+        s["total"] += e.dur
+        if e.dur > s["max"]:
+            s["max"] = e.dur
+    top = max(s["total"] for s in stats.values())
+    name_w = max(len(n) for n in stats)
+    lines = [
+        f"{'span':<{name_w}}  {'count':>6}  {'total_ms':>10}  "
+        f"{'mean_ms':>9}  {'max_ms':>9}"
+    ]
+    for name, s in sorted(stats.items(), key=lambda kv: -kv[1]["total"]):
+        bar = "#" * max(1, round(width * s["total"] / top)) if top else ""
+        lines.append(
+            f"{name:<{name_w}}  {int(s['count']):>6}  "
+            f"{s['total'] / 1e6:>10.3f}  "
+            f"{s['total'] / s['count'] / 1e6:>9.3f}  "
+            f"{s['max'] / 1e6:>9.3f}  {bar}"
+        )
+    return "\n".join(lines)

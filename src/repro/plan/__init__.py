@@ -1,5 +1,16 @@
 """First-class planning layer: analyze once, solve many times.
 
+This package is the *analyze phase* of the analyze/solve split
+``docs/ARCHITECTURE.md`` describes: everything that depends only on the
+graph's nonzero pattern — fill-reducing ordering, symbolic analysis,
+supernode amalgamation, the elimination-tree level schedule — is
+computed once into a weight-independent :class:`Plan` and reused across
+every numeric solve, mirroring how sparse direct solvers amortize
+ordering + symbolics across factorizations (paper §5.1.4).  Analysis
+phases report ``plan-key`` / ``ordering`` / ``symbolic`` spans to the
+ambient tracer (:mod:`repro.obs`), and cache traffic lands in the
+``plan_cache.*`` metrics.
+
 See :mod:`repro.plan.plan` for the split's rationale.  Public surface:
 
 * :func:`analyze` / :class:`Plan` — the weight-independent analyze phase

@@ -19,6 +19,7 @@ from typing import Any
 
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
+from repro.obs import get_tracer
 from repro.plan.keys import plan_cache_key, structure_hash
 from repro.plan.plan import Plan, analyze
 
@@ -73,12 +74,14 @@ class PlanCache:
         if plan is not None:
             self._plans.move_to_end(key)
             self.hits += 1
+            get_tracer().metric_inc("plan_cache.hits")
             return plan
         path = self._path_for(key)
         if path is not None and os.path.exists(path):
             plan = Plan.load(path)
             self._store(key, plan)
             self.disk_hits += 1
+            get_tracer().metric_inc("plan_cache.disk_hits")
             return plan
         return None
 
@@ -112,6 +115,7 @@ class PlanCache:
         if plan is not None:
             return plan
         self.misses += 1
+        get_tracer().metric_inc("plan_cache.misses")
         plan = analyze(graph, **params)
         self.put(plan, key=key)
         return plan

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
+from repro.obs import get_tracer
 from repro.ordering.base import Ordering
 from repro.ordering.bfs import bfs_ordering
 from repro.ordering.nested_dissection import NDResult, nested_dissection
@@ -351,10 +352,14 @@ def analyze(
     timings = TimingBreakdown()
     nd: NDResult | None = None
     directed = isinstance(graph, DiGraph)
-    with timings.time("plan-key"):
+    tracer = get_tracer()
+    with timings.time("plan-key"), tracer.span("plan-key", n=graph.n):
         pattern = _unit_pattern(graph)
         key = structure_hash(graph)
-    with timings.time("ordering"):
+    with timings.time("ordering"), tracer.span(
+        "ordering",
+        method=ordering if isinstance(ordering, str) else ordering.method,
+    ):
         if isinstance(ordering, Ordering):
             ordr = ordering
         elif ordering == "nd":
@@ -366,7 +371,7 @@ def analyze(
             ordr = Ordering(perm=np.arange(graph.n), method="natural")
         else:
             raise ValueError(f"unknown ordering {ordering!r}")
-    with timings.time("symbolic"):
+    with timings.time("symbolic"), tracer.span("symbolic", n=graph.n):
         sym = symbolic_cholesky(pattern, ordr.perm)
         structure = build_structure(
             sym, relax=relax, max_snode=max_snode, small_snode=small_snode

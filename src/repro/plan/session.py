@@ -28,6 +28,7 @@ from repro.graphs.validation import (
     validate_weight_array,
     validate_weights,
 )
+from repro.obs import coerce_tracer, use_tracer, write_chrome_trace
 from repro.plan.cache import PlanCache
 from repro.plan.keys import PLAN_PARAM_DEFAULTS
 from repro.plan.plan import Plan, analyze
@@ -144,9 +145,30 @@ class APSPSession:
         cheap per-solve array check runs.  The result's
         ``meta["session"]`` records the solve index and plan identity;
         warm solves report zero preprocessing seconds.
+
+        ``trace=`` (as in :func:`repro.core.api.apsp`) traces just this
+        solve — the "analyze once, solve many, trace one" pattern: a
+        warm process pool serves traced and untraced solves alike.
         """
         if self._closed:
             raise RuntimeError("session is closed")
+        trace = overrides.pop("trace", None)
+        if trace is not None:
+            tracer, trace_path = coerce_tracer(trace)
+            if tracer.enabled:
+                with use_tracer(tracer), tracer.span(
+                    "session-solve", index=self.solves, method=self.method
+                ):
+                    result = self.solve(weights, **overrides)
+                result.meta["obs"] = tracer.meta_snapshot()
+                result.meta["tracer"] = tracer
+                if trace_path is not None:
+                    write_chrome_trace(
+                        tracer, trace_path,
+                        metadata={"method": self.method, "n": int(self.graph.n)},
+                    )
+                    result.meta["trace_path"] = trace_path
+                return result
         weights_changed = False
         if weights is not None:
             weights = np.asarray(weights, dtype=np.float64)

@@ -1,7 +1,22 @@
 """Resilient execution layer: typed errors, fault injection, retry,
 budgets, and the verified fallback chain.
 
-See ``docs/RESILIENCE.md`` for the full design.
+Everything that can go wrong in a solve flows through this package:
+failures are classified into the :class:`ReproError` hierarchy
+(validation, task, kernel, budget, fallback — the taxonomy
+``docs/ARCHITECTURE.md`` calls the *error contract*); deterministic
+fault injection (:func:`inject_faults`) exercises those paths in tests
+and CI; per-supernode retries (:class:`RetryPolicy`,
+:func:`~repro.resilience.retry.call_with_retry`) exploit the idempotence
+of min-plus updates; :class:`SolveBudget` bounds wall-clock, operations,
+and memory at task granularity; and ``method="auto"`` escalates down the
+certificate-verified fallback chain
+(:func:`~repro.resilience.fallback.solve_with_fallback`).  Retry and
+fallback transitions are also reported to the ambient tracer
+(:mod:`repro.obs`) as ``retry`` instants and ``fallback`` spans.
+
+See ``docs/RESILIENCE.md`` for the full design and the CLI exit-code
+mapping (2 validation / 3 budget / 4 fallback-exhausted).
 """
 
 from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker

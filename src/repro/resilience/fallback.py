@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
+from repro.obs import get_tracer
 from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
 
 if TYPE_CHECKING:  # avoid a circular import at package-init time
@@ -146,11 +147,13 @@ def solve_with_fallback(
         result.meta["fallback_chain"] = list(chain)
         return result
 
+    tracer = get_tracer()
     for method in chain:
         if method in DIJKSTRA_FAMILY and negative:
             trail.append(
                 Attempt(method, "skipped", error="graph has negative weights")
             )
+            tracer.instant("fallback-skip", method=method)
             continue
         opts = {k: v for k, v in options.items()
                 if k in _METHOD_OPTIONS.get(method, frozenset())}
@@ -159,38 +162,50 @@ def solve_with_fallback(
             if method in _BUDGETED:
                 opts["budget"] = tracker
         start = time.perf_counter()
-        try:
-            result = _METHODS[method](graph, **opts)
-        except (BudgetExceededError, NegativeCycleError) as exc:
-            trail.append(
-                Attempt(method, "failed", time.perf_counter() - start,
-                        f"{type(exc).__name__}: {exc}")
-            )
-            if isinstance(exc, BudgetExceededError):
-                exc.progress.setdefault("attempts", [a.as_dict() for a in trail])
-            raise
-        except ReproError as exc:
-            trail.append(
-                Attempt(method, "failed", time.perf_counter() - start,
-                        f"{type(exc).__name__}: {exc}")
-            )
-            continue
-        elapsed = time.perf_counter() - start
-        detail: dict[str, Any] = {}
-        if "recovery" in result.meta:
-            detail["recovery"] = result.meta["recovery"]
-        if verify:
+        # The span closes on every exit path; its status attribute is
+        # set just before each one, so the trace shows which rung of the
+        # chain failed, was rejected by the certificate, or won.
+        with tracer.span("fallback", method=method) as fb_span:
             try:
-                if np.isnan(result.dist).any():
-                    raise AssertionError("distances contain NaN")
-                check_apsp_certificate(graph, result.dist)
-            except AssertionError as exc:
+                result = _METHODS[method](graph, **opts)
+            except (BudgetExceededError, NegativeCycleError) as exc:
                 trail.append(
-                    Attempt(method, "rejected", elapsed,
-                            f"certificate: {exc}", detail)
+                    Attempt(method, "failed", time.perf_counter() - start,
+                            f"{type(exc).__name__}: {exc}")
                 )
+                fb_span.set(status="failed", error=type(exc).__name__)
+                if isinstance(exc, BudgetExceededError):
+                    exc.progress.setdefault(
+                        "attempts", [a.as_dict() for a in trail]
+                    )
+                raise
+            except ReproError as exc:
+                trail.append(
+                    Attempt(method, "failed", time.perf_counter() - start,
+                            f"{type(exc).__name__}: {exc}")
+                )
+                fb_span.set(status="failed", error=type(exc).__name__)
+                tracer.metrics.inc("fallback.failed")
                 continue
-        trail.append(Attempt(method, "ok", elapsed, detail=detail))
+            elapsed = time.perf_counter() - start
+            detail: dict[str, Any] = {}
+            if "recovery" in result.meta:
+                detail["recovery"] = result.meta["recovery"]
+            if verify:
+                try:
+                    if np.isnan(result.dist).any():
+                        raise AssertionError("distances contain NaN")
+                    check_apsp_certificate(graph, result.dist)
+                except AssertionError as exc:
+                    trail.append(
+                        Attempt(method, "rejected", elapsed,
+                                f"certificate: {exc}", detail)
+                    )
+                    fb_span.set(status="rejected")
+                    tracer.metrics.inc("fallback.rejected")
+                    continue
+            trail.append(Attempt(method, "ok", elapsed, detail=detail))
+            fb_span.set(status="ok")
         return finish(result)
     raise FallbackExhaustedError(
         f"all {len(list(chain))} backends in the fallback chain failed: "

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
+from repro.obs import get_tracer
 from repro.resilience.errors import BudgetExceededError, ReproError
 
 T = TypeVar("T")
@@ -76,5 +77,14 @@ def call_with_retry(
             raise
         except ReproError as exc:
             last = exc
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.metrics.inc("retries.caught")
+                tracer.instant(
+                    "retry",
+                    attempt=attempt,
+                    error=type(exc).__name__,
+                    exhausted=attempt >= attempts,
+                )
     assert last is not None
     raise last

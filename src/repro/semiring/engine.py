@@ -41,7 +41,11 @@ The module-level *ambient engine* (:func:`get_engine` /
 :mod:`repro.semiring.kernels` route through, so every solver — dense
 blocked, SuperFW, the etree-parallel executors, and the multifrontal
 schedule — picks up the same tuned kernel without plumbing an object
-through every call site.
+through every call site.  (``docs/ARCHITECTURE.md`` calls this the
+*kernel layer*.)  When the ambient tracer (:mod:`repro.obs`) is enabled,
+every dispatch records a ``gemm`` span plus an ``engine.dispatch.*``
+metric, and each shape bucket's first strategy decision is emitted as an
+``autotune`` instant — see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -55,6 +59,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from repro.obs import get_tracer
 from repro.semiring.minplus import result_dtype
 
 #: Names accepted for ``SemiringGemmEngine(strategy=...)``.
@@ -226,6 +231,9 @@ class SemiringGemmEngine:
         self.collect = collect
         self._stats_lock = threading.Lock()
         self._stats: dict[str, dict[str, float]] = {}
+        # Shape buckets already announced to a tracer as "autotune"
+        # instants — one event per bucket, not per gemm call.
+        self._announced: set[str] = set()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -256,7 +264,19 @@ class SemiringGemmEngine:
         if self.strategy != "auto":
             return self.strategy
         tuned = self.tuner.lookup(m, k, n, dtype)
-        return tuned if tuned is not None else self.heuristic(m, k, n)
+        name = tuned if tuned is not None else self.heuristic(m, k, n)
+        tracer = get_tracer()
+        if tracer.enabled:
+            bucket = self.tuner.key(m, k, n, dtype)
+            if bucket not in self._announced:
+                self._announced.add(bucket)
+                tracer.instant(
+                    "autotune",
+                    bucket=bucket,
+                    strategy=name,
+                    source="table" if tuned is not None else "heuristic",
+                )
+        return name
 
     # ------------------------------------------------------------------
     # The GEMM entry point
@@ -295,6 +315,19 @@ class SemiringGemmEngine:
             return out
         name = strategy or self.choose(m, kdim, n, out.dtype)
         kernel = _KERNELS[name]
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Attribute dicts are built only on the traced path: gemm is
+            # the hottest call site in the library.
+            tracer.metrics.inc("engine.dispatch." + name)
+            with tracer.span("gemm", strategy=name, m=m, k=kdim, n=n):
+                if self.collect:
+                    t0 = time.perf_counter()
+                    kernel(self, a, b, out)
+                    self._record(name, 2 * m * n * kdim, time.perf_counter() - t0)
+                else:
+                    kernel(self, a, b, out)
+            return out
         if self.collect:
             t0 = time.perf_counter()
             kernel(self, a, b, out)
@@ -459,9 +492,17 @@ class SemiringGemmEngine:
             entry["seconds"] += seconds
 
     def stats_snapshot(self) -> dict[str, dict[str, float]]:
-        """Copy of the raw per-strategy counters, for later delta reporting."""
+        """Copy of the raw per-strategy counters, for later delta reporting.
+
+        Includes a ``"__workspace__"`` entry (never a strategy name) so
+        :meth:`stats_dict` can report workspace hits/misses as a delta.
+        """
         with self._stats_lock:
-            return {name: dict(v) for name, v in self._stats.items()}
+            snap = {name: dict(v) for name, v in self._stats.items()}
+        snap["__workspace__"] = {
+            "hits": self.workspace.hits, "misses": self.workspace.misses,
+        }
+        return snap
 
     def stats_dict(
         self, since: dict[str, dict[str, float]] | None = None
@@ -488,25 +529,37 @@ class SemiringGemmEngine:
             strategies = {
                 name: v for name, v in strategies.items() if v["calls"] > 0
             }
+        ws_since = since.get("__workspace__", {"hits": 0, "misses": 0})
         return {
             "strategy": self.strategy,
             "kc": "auto" if self.kc is None else self.kc,
             "tile": [self.tile_m, self.tile_n],
             "strategies": strategies,
             "workspace": {
-                "hits": self.workspace.hits,
-                "misses": self.workspace.misses,
+                "hits": int(self.workspace.hits - ws_since["hits"]),
+                "misses": int(self.workspace.misses - ws_since["misses"]),
             },
         }
 
-    def merge_stats(self, strategies: dict[str, dict[str, float]]) -> None:
+    def merge_stats(
+        self,
+        strategies: dict[str, dict[str, float]],
+        workspace: dict[str, int] | None = None,
+    ) -> None:
         """Fold a worker's ``stats_dict()["strategies"]`` into this engine.
 
         Used by the process-pool SuperFW backend, whose workers run their
-        own per-process engines.
+        own per-process engines.  ``workspace`` (a worker's
+        ``stats_dict()["workspace"]`` delta) folds the worker's pool
+        hits/misses in as well — without it, process-backend solves
+        under-report workspace reuse relative to the other backends.
         """
         for name, v in strategies.items():
             self._record(name, int(v.get("ops", 0)), float(v.get("seconds", 0.0)))
+        if workspace:
+            with self.workspace._stats_lock:
+                self.workspace.hits += int(workspace.get("hits", 0))
+                self.workspace.misses += int(workspace.get("misses", 0))
 
     def reset_stats(self) -> None:
         """Zero the per-strategy counters."""

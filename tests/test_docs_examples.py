@@ -1,0 +1,48 @@
+"""Execute the observability doc's snippets so the docs never rot.
+
+Same contract as tests/test_tutorial.py: every ```python block in
+docs/OBSERVABILITY.md is doctest-formatted and runs here in one shared
+namespace.  The tutorial's new "analyze once, solve many, trace one"
+section is covered by test_tutorial.py (same file, same runner); this
+module additionally pins that the section exists.
+"""
+
+import doctest
+import re
+from pathlib import Path
+
+DOCS = Path(__file__).parent.parent / "docs"
+
+
+def _run_markdown_doctests(path):
+    text = path.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    source = "\n".join(blocks)
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(source, {}, path.name, str(path), 0)
+    runner = doctest.DocTestRunner(optionflags=doctest.NORMALIZE_WHITESPACE)
+    runner.run(test)
+    return blocks, runner
+
+
+def test_observability_snippets_run():
+    blocks, runner = _run_markdown_doctests(DOCS / "OBSERVABILITY.md")
+    assert len(blocks) >= 5, "OBSERVABILITY.md lost its code blocks"
+    assert runner.failures == 0, f"{runner.failures} OBSERVABILITY snippets failed"
+    assert runner.tries >= 20  # most statements actually executed
+
+
+def test_tutorial_has_trace_one_walkthrough():
+    text = (DOCS / "TUTORIAL.md").read_text()
+    assert "Analyze once, solve many, trace one" in text
+    assert "sess.solve(trace=True)" in text
+    assert "OBSERVABILITY.md" in text
+
+
+def test_docs_cross_links_resolve():
+    # Every relative .md link inside docs/ must point at a real file.
+    for doc in DOCS.glob("*.md"):
+        for target in re.findall(r"\]\((?!http)([^)#]+\.md)", doc.read_text()):
+            resolved = (doc.parent / target).resolve()
+            root = DOCS.parent / target.replace("docs/", "")
+            assert resolved.exists() or root.exists(), f"{doc.name} -> {target}"
