@@ -3,7 +3,7 @@
 PYTHON ?= python
 SIZE   ?= 0.5
 
-.PHONY: install test faults bench bench-engine bench-plan bench-obs trace docs-check experiments examples clean all
+.PHONY: install test faults chaos bench bench-engine bench-plan bench-obs bench-resilience trace docs-check experiments examples clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -17,6 +17,12 @@ faults:
 		echo "== REPRO_FAULT_SEED=$$seed =="; \
 		REPRO_FAULT_SEED=$$seed $(PYTHON) -m pytest tests/test_resilience.py -q || exit 1; \
 	done
+
+# Supervised process backend under worker kills/hangs/shm detaches,
+# plus the clean-solve supervision-overhead gate (<3%).
+chaos:
+	$(PYTHON) -m pytest tests/test_supervisor.py -q
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_resilience.py --quick --check
 
 bench:
 	REPRO_SIZE_FACTOR=$(SIZE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -32,6 +38,10 @@ bench-plan:
 # Disabled-tracer overhead gate (<5%) -> BENCH_obs.json.
 bench-obs:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs.py --check
+
+# Supervision overhead + recovery/checkpoint timings -> BENCH_resilience.json.
+bench-resilience:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_resilience.py --check
 
 # One traced process-backend solve -> trace.json (open in ui.perfetto.dev).
 trace:

@@ -49,6 +49,7 @@ from repro.ordering.nested_dissection import nested_dissection
 from repro.plan import APSPSession, Plan, PlanCache, analyze, structure_hash
 from repro.resilience import (
     BudgetExceededError,
+    CheckpointManager,
     FallbackExhaustedError,
     FaultSpec,
     GraphValidationError,
@@ -57,7 +58,10 @@ from repro.resilience import (
     ReproError,
     RetryPolicy,
     SolveBudget,
+    SolveTimeoutError,
+    SupervisorPolicy,
     TaskFailedError,
+    WorkerCrashError,
     inject_faults,
 )
 
@@ -67,6 +71,7 @@ __all__ = [
     "APSPResult",
     "APSPSession",
     "BudgetExceededError",
+    "CheckpointManager",
     "DiGraph",
     "FallbackExhaustedError",
     "FaultSpec",
@@ -82,10 +87,13 @@ __all__ = [
     "ReproError",
     "RetryPolicy",
     "SolveBudget",
+    "SolveTimeoutError",
     "SuperFWPlan",
+    "SupervisorPolicy",
     "TaskFailedError",
     "Tracer",
     "TreewidthAPSP",
+    "WorkerCrashError",
     "analyze",
     "apsp",
     "available_methods",

@@ -56,13 +56,42 @@ def _solve_budget(args):
     return SolveBudget(wall_seconds=args.budget_seconds, max_ops=args.budget_ops)
 
 
+def _parse_chaos(spec: str) -> dict:
+    """Parse ``--chaos`` specs like ``worker_kill:0.05,worker_hang:0.1:5``.
+
+    Each comma-separated entry is ``site:rate`` — ``worker_hang``
+    optionally takes a third ``:seconds`` field for the hang duration.
+    Returns :class:`~repro.resilience.faults.FaultSpec` keyword fields.
+    """
+    sites = {"worker_kill", "worker_hang", "shm_detach"}
+    fields: dict = {}
+    for token in spec.split(","):
+        if not token:
+            continue
+        parts = token.split(":")
+        name = parts[0].strip().replace("-", "_")
+        if name not in sites or len(parts) < 2:
+            raise SystemExit(
+                f"bad chaos entry {token!r}; expected SITE:RATE with SITE "
+                f"one of {sorted(sites)} (worker_hang takes :RATE:SECONDS)"
+            )
+        try:
+            fields[f"{name}_rate"] = float(parts[1])
+            if name == "worker_hang" and len(parts) > 2:
+                fields["worker_hang_seconds"] = float(parts[2])
+        except ValueError:
+            raise SystemExit(f"bad chaos rate in {token!r}") from None
+    return fields
+
+
 def _fault_context(args):
-    """An ``inject_faults`` context when any --fault-* rate is set."""
+    """An ``inject_faults`` context when any --fault-*/--chaos rate is set."""
     import contextlib
 
     from repro.resilience.faults import FaultSpec, inject_faults
 
-    if not (args.fault_tasks or args.fault_kernels or args.fault_corrupt):
+    chaos = _parse_chaos(args.chaos) if getattr(args, "chaos", None) else {}
+    if not (args.fault_tasks or args.fault_kernels or args.fault_corrupt or chaos):
         return contextlib.nullcontext()
     return inject_faults(
         FaultSpec(
@@ -70,6 +99,7 @@ def _fault_context(args):
             task_failure_rate=args.fault_tasks,
             kernel_error_rate=args.fault_kernels,
             kernel_corruption_rate=args.fault_corrupt,
+            **chaos,
         )
     )
 
@@ -157,6 +187,24 @@ def _solver_options(args) -> dict:
             options["backend"] = args.backend
         if args.workers is not None:
             options["num_workers"] = args.workers
+        if getattr(args, "no_supervise", False):
+            options["supervise"] = False
+        elif (
+            getattr(args, "task_timeout", None) is not None
+            or getattr(args, "max_pool_rebuilds", None) is not None
+        ):
+            from repro.resilience.supervisor import SupervisorPolicy
+
+            fields = {}
+            if args.task_timeout is not None:
+                fields["task_timeout"] = args.task_timeout
+            if args.max_pool_rebuilds is not None:
+                fields["max_pool_rebuilds"] = args.max_pool_rebuilds
+            options["supervise"] = SupervisorPolicy(**fields)
+        if getattr(args, "checkpoint", None):
+            options["checkpoint"] = args.checkpoint
+        if getattr(args, "resume", False):
+            options["resume"] = True
     return options
 
 
@@ -389,8 +437,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="abort (exit 3) past this many scalar semiring ops",
     )
+    resilience = solve.add_argument_group(
+        "supervision and checkpointing (backend=process recovery)"
+    )
+    resilience.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-level progress deadline; hung workers are killed, the "
+        "pool rebuilt, and the level re-dispatched",
+    )
+    resilience.add_argument(
+        "--max-pool-rebuilds",
+        type=int,
+        default=None,
+        help="recovery budget before escalating process->thread->sequential",
+    )
+    resilience.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="disable supervision (worker deaths abort with exit 5)",
+    )
+    resilience.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help="snapshot the distance matrix to DIR after each elimination "
+        "level (keyed by plan + weights)",
+    )
+    resilience.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --checkpoint, resume a killed solve from its last "
+        "completed level",
+    )
     faults = solve.add_argument_group(
         "fault injection (testing the recovery paths)"
+    )
+    faults.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        help="process-chaos sites, e.g. worker_kill:0.05,worker_hang:0.1:5 "
+        "or shm_detach:0.02 (workers only; pair with --backend process)",
     )
     faults.add_argument(
         "--fault-tasks", type=float, default=0.0, metavar="RATE",
@@ -524,6 +612,7 @@ def build_parser() -> argparse.ArgumentParser:
 EXIT_VALIDATION = 2
 EXIT_BUDGET = 3
 EXIT_FALLBACK_EXHAUSTED = 4
+EXIT_WORKER_CRASH = 5
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -532,13 +621,15 @@ def main(argv: list[str] | None = None) -> int:
     Typed :class:`~repro.resilience.errors.ReproError` failures exit with
     a one-line message on stderr and a distinct code — 2 for input
     validation (including negative cycles), 3 for a blown solve budget,
-    4 for an exhausted fallback chain — instead of a traceback.
+    4 for an exhausted fallback chain, 5 for an unrecovered worker crash
+    or task-deadline exhaustion — instead of a traceback.
     """
     from repro.resilience.errors import (
         BudgetExceededError,
         FallbackExhaustedError,
         GraphValidationError,
         ReproError,
+        WorkerCrashError,
     )
 
     parser = build_parser()
@@ -551,6 +642,9 @@ def main(argv: list[str] | None = None) -> int:
     except FallbackExhaustedError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_FALLBACK_EXHAUSTED
+    except WorkerCrashError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_WORKER_CRASH
     except GraphValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_VALIDATION

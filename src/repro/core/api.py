@@ -203,6 +203,12 @@ def apsp(
         SuperFW planning, ``delta=...`` for Δ-stepping,
         ``num_workers=...`` / ``backend="process"`` for the parallel
         variant, ``engine="ktiled"`` for the FW family's GEMM strategy).
+        The supervised process backend adds ``supervise=`` (a
+        :class:`~repro.resilience.supervisor.SupervisorPolicy`, dict,
+        seconds, or ``False``), ``checkpoint=`` (a snapshot directory or
+        :class:`~repro.resilience.checkpoint.CheckpointManager`), and
+        ``resume=True`` to restart a killed solve from its last
+        completed elimination level.
 
     Returns
     -------

@@ -29,6 +29,22 @@ Two backends share the schedule:
     initializer, so injected failures, retries, and engine counters
     behave identically to the other backends.
 
+The process backend is **supervised** by default
+(:mod:`repro.resilience.supervisor`): workers heartbeat a shared-memory
+board, the coordinator watches for broken pools / missed beats / stalled
+groups, and recovery rebuilds the pool against the same shared segment
+and re-dispatches only the unfinished supernodes of the current level.
+Idempotence alone makes a re-run mathematically safe but not bit-exact
+(a re-run over its own partially relaxed strips composes already-rounded
+sums in a different order, which can land one ULP low), so the
+supervisor keeps a :class:`_BarrierSnapshot` — a copy of the matrix at
+each level barrier — and restores a task's subtree strips before any
+re-dispatch.  That makes every recovery — and the
+process→thread→sequential escalation after ``max_pool_rebuilds`` —
+*bit-identical* to an undisturbed run.  ``checkpoint=`` snapshots the
+matrix at level barriers (:mod:`repro.resilience.checkpoint`) and
+``resume=True`` restarts a killed solve from the last finished level.
+
 On this sandbox's single core both backends demonstrate correctness of
 the schedule rather than speedup; the wall-clock scaling figures are
 produced by the work-depth simulator in :mod:`repro.parallel.scheduler`,
@@ -37,8 +53,12 @@ replaying the same task DAG.
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
 from multiprocessing import get_context, shared_memory
 from typing import Any
 
@@ -50,12 +70,15 @@ from repro.core.superfw import SuperFWPlan, eliminate_supernode
 from repro.obs import Tracer, get_tracer, use_tracer
 from repro.graphs.graph import Graph
 from repro.plan.plan import Plan, ensure_plan
+from repro.resilience import shm as shm_registry
 from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
+from repro.resilience.checkpoint import CheckpointManager, solve_key, weights_sha
 from repro.resilience.errors import (
     BudgetExceededError,
     NegativeCycleError,
     ReproError,
     TaskFailedError,
+    WorkerCrashError,
 )
 from repro.resilience.faults import (
     export_fault_state,
@@ -64,6 +87,13 @@ from repro.resilience.faults import (
     task_site,
 )
 from repro.resilience.retry import DEFAULT_TASK_RETRY, RetryPolicy, call_with_retry
+from repro.resilience.supervisor import (
+    HeartbeatBoard,
+    Supervisor,
+    SupervisorPolicy,
+    coerce_policy,
+    start_heartbeat_thread,
+)
 from repro.semiring.base import MIN_PLUS, Semiring
 from repro.semiring.engine import SemiringGemmEngine, set_engine, use_engine
 from repro.util.perm import invert_permutation
@@ -81,8 +111,16 @@ def _process_init(
     exact_panels: bool,
     engine_config: dict,
     fault_state: tuple,
+    heartbeat: tuple | None = None,
 ) -> None:
-    """Pool initializer: attach shared memory, replicate engine + faults."""
+    """Pool initializer: attach shared memory, replicate engine + faults.
+
+    ``heartbeat`` (when supervision is on) is ``(board_name, slots,
+    interval, claim_lock)``: the worker claims a row of the shared
+    liveness board and starts its daemon beat thread.  The lock travels
+    through ``initargs`` by fork inheritance — the executor pins the
+    ``fork`` start method, so nothing here is pickled.
+    """
     # Workers only *attach* to the coordinator-owned segment.  Under the
     # ``fork`` start method (which the executor pins) every process talks
     # to one shared resource tracker, where the duplicate registration is
@@ -96,9 +134,32 @@ def _process_init(
     _WORKER["structure"] = structure
     _WORKER["exact_panels"] = bool(exact_panels)
     _WORKER["engine"] = engine
+    if heartbeat is not None:
+        board_name, slots, interval, claim_lock = heartbeat
+        board = HeartbeatBoard.attach(board_name, slots)
+        slot = board.claim(claim_lock)
+        start_heartbeat_thread(board, slot, interval)
+        _WORKER["heartbeat"] = (board, slot)
 
 
-def _process_eliminate(s: int, retry: RetryPolicy, traced: bool = False):
+def _deadline_check(s: int, deadline: float | None) -> None:
+    """Cooperative wall-clock abort inside a worker, between kernel ops."""
+    if deadline is not None and time.monotonic() > deadline:
+        raise BudgetExceededError(
+            f"solve wall-clock budget expired inside worker "
+            f"{os.getpid()} during supernode {s}",
+            limit="wall_seconds",
+            progress={"where": f"worker:supernode {s}"},
+        )
+
+
+def _process_eliminate(
+    s: int,
+    retry: RetryPolicy,
+    traced: bool = False,
+    attempt_base: int = 0,
+    deadline: float | None = None,
+):
     """Worker task: eliminate supernode ``s`` against the shared matrix.
 
     Returns ``(used_attempts, counter, aa_payload, engine_stats, events,
@@ -113,18 +174,29 @@ def _process_eliminate(s: int, retry: RetryPolicy, traced: bool = False):
     merge — the same round trip the fault-seed plumbing makes in the
     other direction.  ``traced`` travels per task (not via the pool
     initializer) so a warm :class:`SharedPlanPool` can serve traced and
-    untraced solves alike.  Failures exhaust ``retry`` *inside* the
-    worker and surface to the coordinator as the underlying exception.
+    untraced solves alike.  ``attempt_base`` offsets the attempt numbers
+    fed to the fault injector: the supervisor bumps it per redispatch
+    epoch so a deterministic chaos draw cannot kill the same task
+    forever.  ``deadline`` (absolute ``time.monotonic()``, comparable
+    across processes on Linux) enforces the solve's wall budget
+    *cooperatively inside the worker*, checked between panel/outer ops —
+    a blown budget aborts mid-level instead of after the task finishes.
+    Failures exhaust ``retry`` *inside* the worker and surface to the
+    coordinator as the underlying exception.
     """
     dist = _WORKER["dist"]
     structure = _WORKER["structure"]
     engine = _WORKER["engine"]
     before = engine.stats_snapshot()
 
+    def check() -> None:
+        _deadline_check(s, deadline)
+
     def attempt(attempt_no: int):
         local = OpCounter()
-        task_kernel_epoch(s, attempt_no)
-        task_site(s, attempt_no)
+        check()
+        task_kernel_epoch(s, attempt_base + attempt_no)
+        task_site(s, attempt_base + attempt_no)
         payload = eliminate_supernode(
             dist,
             structure,
@@ -133,6 +205,7 @@ def _process_eliminate(s: int, retry: RetryPolicy, traced: bool = False):
             semiring=MIN_PLUS,
             counter=local,
             defer_aa=True,
+            check=check,
         )
         return payload, local
 
@@ -154,7 +227,7 @@ def _process_eliminate(s: int, retry: RetryPolicy, traced: bool = False):
 
 
 class SharedPlanPool:
-    """Persistent process pool bound to one plan's structure.
+    """Persistent, rebuildable process pool bound to one plan's structure.
 
     The transient process backend pays the pool spin-up — forking
     workers and shipping the supernodal structure through the
@@ -164,6 +237,15 @@ class SharedPlanPool:
     the plan exactly once and reuse warm workers thereafter.  Pass it to
     :func:`parallel_superfw` via ``pool=`` (typically through
     :class:`repro.plan.session.APSPSession`).
+
+    The pool is also the recovery substrate of the supervised backend:
+    :meth:`rebuild` SIGKILLs any surviving workers, resets the heartbeat
+    board, and forks a fresh executor *against the same shared segment*,
+    so re-dispatched tasks keep operating on the half-finished matrix.
+    Both shared segments (distance + heartbeat board) are registered
+    with :mod:`repro.resilience.shm`, so even a coordinator that dies on
+    an unhandled exception unlinks them at interpreter exit instead of
+    leaking ``/dev/shm``.
     """
 
     def __init__(
@@ -174,21 +256,43 @@ class SharedPlanPool:
         exact_panels: bool = True,
         dtype=np.float64,
         engine: str | SemiringGemmEngine | None = None,
+        heartbeat: bool = True,
+        heartbeat_interval: float = 0.2,
     ):
         self.plan = plan
         self.num_workers = max(1, num_workers)
         self.exact_panels = bool(exact_panels)
         self.dtype = np.dtype(dtype)
         self.solves = 0
+        self.rebuilds = 0
         self._closed = False
+        self._needs_rebuild = False
         n = plan.n
-        self._shm = shared_memory.SharedMemory(
-            create=True, size=max(1, n * n * self.dtype.itemsize)
+        self._shm = shm_registry.create_tracked_segment(
+            max(1, n * n * self.dtype.itemsize)
         )
         self.shared = np.ndarray((n, n), dtype=self.dtype, buffer=self._shm.buf)
         with use_engine(engine) as eng:
-            engine_config = eng.spawn_config()
-        self._pool = ProcessPoolExecutor(
+            self._engine_config = eng.spawn_config()
+        self.heartbeats = (
+            HeartbeatBoard.create(self.num_workers) if heartbeat else None
+        )
+        self._hb_interval = float(heartbeat_interval)
+        # Fork-inherited: travels to workers through initargs unpickled.
+        self._claim_lock = get_context("fork").Lock() if heartbeat else None
+        self._pool = self._build_pool()
+
+    def _build_pool(self) -> ProcessPoolExecutor:
+        heartbeat = None
+        if self.heartbeats is not None:
+            heartbeat = (
+                self.heartbeats.name,
+                self.heartbeats.slots,
+                self._hb_interval,
+                self._claim_lock,
+            )
+        n = self.plan.n
+        return ProcessPoolExecutor(
             max_workers=self.num_workers,
             mp_context=get_context("fork"),
             initializer=_process_init,
@@ -196,25 +300,96 @@ class SharedPlanPool:
                 self._shm.name,
                 (n, n),
                 self.dtype.str,
-                plan.structure,
+                self.plan.structure,
                 self.exact_panels,
-                engine_config,
+                self._engine_config,
                 export_fault_state(),
+                heartbeat,
             ),
         )
 
-    def submit(self, s: int, retry: RetryPolicy, traced: bool = False):
+    def submit(
+        self,
+        s: int,
+        retry: RetryPolicy,
+        traced: bool = False,
+        attempt_base: int = 0,
+        deadline: float | None = None,
+    ):
         """Submit supernode ``s`` to the warm workers."""
-        return self._pool.submit(_process_eliminate, s, retry, traced)
+        return self._pool.submit(
+            _process_eliminate, s, retry, traced, attempt_base, deadline
+        )
+
+    def stale_workers(self, timeout: float) -> list[int]:
+        """Pids that have missed heartbeats (empty without a board)."""
+        if self.heartbeats is None:
+            return []
+        return self.heartbeats.stale(timeout)
+
+    def kill_workers(self) -> None:
+        """SIGKILL every known worker (heartbeat board ∪ executor pids)."""
+        pids = set(self.heartbeats.pids() if self.heartbeats else [])
+        pids.update(getattr(self._pool, "_processes", None) or {})
+        me = os.getpid()
+        for pid in pids:
+            if pid and pid != me:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
+
+    def terminate(self) -> None:
+        """Kill workers and retire the executor, keeping the segment.
+
+        Used before escalating to an in-process backend: a hung straggler
+        must not keep scribbling on the shared matrix while the thread or
+        sequential rerun operates on it.  The next :meth:`ensure_alive`
+        lazily rebuilds, so a session-owned pool survives an exhausted
+        solve.
+        """
+        self.kill_workers()
+        try:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        self._needs_rebuild = True
+
+    def rebuild(self) -> None:
+        """Replace dead/hung workers with a fresh pool on the same segment."""
+        self.kill_workers()
+        try:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        if self.heartbeats is not None:
+            self.heartbeats.reset()
+        self._pool = self._build_pool()
+        self._needs_rebuild = False
+        self.rebuilds += 1
+
+    def ensure_alive(self) -> None:
+        """Rebuild first if a previous solve terminated the workers."""
+        if self._closed:
+            raise RuntimeError("SharedPlanPool is closed")
+        if self._needs_rebuild:
+            self.rebuild()
 
     def close(self) -> None:
-        """Shut the workers down and release the shared segment."""
+        """Shut the workers down and release the shared segments."""
         if self._closed:
             return
         self._closed = True
-        self._pool.shutdown()
-        self._shm.close()
-        self._shm.unlink()
+        try:
+            # A terminated pool's workers are already dead — don't wait.
+            self._pool.shutdown(
+                wait=not self._needs_rebuild, cancel_futures=True
+            )
+        except Exception:
+            pass
+        if self.heartbeats is not None:
+            self.heartbeats.release()
+        shm_registry.release_segment(self._shm)
 
     def __enter__(self) -> "SharedPlanPool":
         return self
@@ -243,6 +418,9 @@ def parallel_superfw(
     retry: RetryPolicy = DEFAULT_TASK_RETRY,
     engine: str | SemiringGemmEngine | None = None,
     pool: SharedPlanPool | None = None,
+    supervise: SupervisorPolicy | bool | dict | float | None = True,
+    checkpoint: CheckpointManager | str | os.PathLike | None = None,
+    resume: bool = False,
     **plan_options,
 ) -> APSPResult:
     """APSP by level-scheduled supernodal Floyd-Warshall.
@@ -264,6 +442,8 @@ def parallel_superfw(
     budget:
         Optional solve budget checked per supernode task; a blown budget
         raises :class:`~repro.resilience.errors.BudgetExceededError`.
+        Under ``backend="process"`` the wall-clock limit is *also*
+        enforced cooperatively inside workers, between kernel ops.
     retry:
         Per-task retry policy.  A task that exhausts its in-pool retries
         is re-run *sequentially* on the coordinating thread before the
@@ -279,6 +459,30 @@ def parallel_superfw(
         given, the solve reuses its warm workers and shared segment
         instead of spinning up (and tearing down) a transient pool —
         the plan defaults to the pool's and must match it.
+    supervise:
+        Supervision of the process backend (ignored by ``"thread"``).
+        ``True`` (default) runs under the default
+        :class:`~repro.resilience.supervisor.SupervisorPolicy`: crashed
+        or heartbeat-dead workers trigger a pool rebuild plus redispatch
+        of the unfinished level, escalating process→thread→sequential
+        once ``max_pool_rebuilds`` is spent.  Pass a policy / dict of
+        policy fields / a number (``task_timeout`` seconds, arming hang
+        detection), or ``False`` to run unsupervised — where a worker
+        death still surfaces as a typed
+        :class:`~repro.resilience.errors.WorkerCrashError` but nothing
+        is recovered.
+    checkpoint:
+        Level-granular checkpointing: a directory path (or
+        :class:`~repro.resilience.checkpoint.CheckpointManager`) where
+        the permuted matrix + level cursor are snapshotted atomically
+        after each completed barrier group, keyed by plan identity and
+        a digest of the input weights.  A finished solve removes its
+        snapshot unless the manager says ``keep=True``.
+    resume:
+        With ``checkpoint=``, look for a matching snapshot first and
+        restart from its level cursor; the resumed result is
+        bit-identical to an uninterrupted solve.  Missing or mismatched
+        snapshots fall back to solving from scratch.
     """
     if backend not in ("thread", "process"):
         raise ValueError(f"unknown backend {backend!r}; use 'thread' or 'process'")
@@ -296,6 +500,10 @@ def parallel_superfw(
             plan = pool.plan
         elif plan is not pool.plan:
             raise ValueError("pool was built for a different plan")
+    policy = coerce_policy(supervise) if backend == "process" else None
+    ckpt = CheckpointManager.coerce(checkpoint)
+    if resume and ckpt is None:
+        raise ValueError("resume=True requires checkpoint=")
     plan, plan_reused = ensure_plan(plan, graph, **plan_options)
     workers = max(1, num_workers if num_workers is not None else num_threads)
     timings = TimingBreakdown()
@@ -317,7 +525,45 @@ def parallel_superfw(
     ops = OpCounter()
     recovery = {"task_retries": 0, "sequential_reruns": []}
     levels = structure.level_order()
+    if etree_parallel:
+        groups = [[int(s) for s in g.tolist()] for g in levels]
+    else:
+        groups = [[s] for s in range(structure.ns)]
     tracer = get_tracer()
+
+    # ------------------------------------------------------------------
+    # Checkpoint/resume: the permuted matrix at a level barrier is the
+    # entire solver state, so a snapshot + group cursor resumes exactly.
+    # ------------------------------------------------------------------
+    start_group = 0
+    ckpt_key = ckpt_meta = None
+    if ckpt is not None:
+        digest = weights_sha(dist)
+        flavor = "levels" if etree_parallel else "snodes"
+        ckpt_key = solve_key(plan.plan_id, digest, flavor)
+        ckpt_meta = {
+            "plan_id": plan.plan_id,
+            "weights_sha": digest,
+            "flavor": flavor,
+            "groups_total": len(groups),
+            "n": int(dist.shape[0]),
+        }
+        if resume:
+            snapshot = ckpt.load(ckpt_key, expect=ckpt_meta)
+            if snapshot is not None:
+                matrix, start_group = snapshot
+                start_group = min(int(start_group), len(groups))
+                dist[:] = matrix
+                recovery["resumed_from_group"] = start_group
+
+    def on_group_done(groups_done: int, matrix: np.ndarray) -> None:
+        if ckpt is None or not ckpt.due(groups_done):
+            return
+        if groups_done >= len(groups) and not ckpt.keep:
+            return  # the solve is about to finish and clear anyway
+        with tracer.span("checkpoint.write", groups_done=groups_done):
+            ckpt.write(ckpt_key, matrix, groups_done=groups_done, meta=ckpt_meta)
+
     with use_engine(engine) as eng:
         engine_before = eng.stats_snapshot()
         with timings.time("solve"), tracer.span(
@@ -326,10 +572,11 @@ def parallel_superfw(
             if backend == "process":
                 _run_process(
                     dist,
+                    plan,
                     structure,
-                    levels,
+                    groups[start_group:],
                     workers=workers,
-                    etree_parallel=etree_parallel,
+                    spans=etree_parallel,
                     exact_panels=exact_panels,
                     retry=retry,
                     tracker=tracker,
@@ -337,26 +584,33 @@ def parallel_superfw(
                     recovery=recovery,
                     eng=eng,
                     pool=pool,
+                    policy=policy,
+                    group_offset=start_group,
+                    on_group_done=on_group_done if ckpt is not None else None,
                 )
             else:
                 _run_threaded(
                     dist,
                     structure,
-                    levels,
+                    groups[start_group:],
                     workers=workers,
-                    etree_parallel=etree_parallel,
+                    spans=etree_parallel,
                     exact_panels=exact_panels,
                     semiring=semiring,
                     retry=retry,
                     tracker=tracker,
                     ops=ops,
                     recovery=recovery,
+                    group_offset=start_group,
+                    on_group_done=on_group_done if ckpt is not None else None,
                 )
         engine_stats = eng.stats_dict(since=engine_before)
     if semiring is MIN_PLUS and np.any(np.diag(dist) < 0):
         raise NegativeCycleError(
             witness=int(perm[int(np.argmin(np.diag(dist)))])
         )
+    if ckpt is not None and not ckpt.keep:
+        ckpt.clear(ckpt_key)
     iperm = invert_permutation(perm)
     out = dist[np.ix_(iperm, iperm)]
     if tracer.enabled:
@@ -379,6 +633,8 @@ def parallel_superfw(
             "num_workers": workers,
             "etree_parallel": etree_parallel,
             "levels": [g.shape[0] for g in levels],
+            "supervised": policy is not None,
+            "checkpointed": ckpt is not None,
             "recovery": recovery,
             "engine": engine_stats,
             **({"obs": tracer.meta_snapshot()} if tracer.enabled else {}),
@@ -389,18 +645,20 @@ def parallel_superfw(
 def _run_threaded(
     dist: np.ndarray,
     structure,
-    levels,
+    groups,
     *,
     workers: int,
-    etree_parallel: bool,
+    spans: bool,
     exact_panels: bool,
     semiring: Semiring,
     retry: RetryPolicy,
     tracker: BudgetTracker | None,
     ops: OpCounter,
     recovery: dict,
+    group_offset: int = 0,
+    on_group_done=None,
 ) -> None:
-    """The in-process (GIL-sharing) executor over the level schedule."""
+    """The in-process (GIL-sharing) executor over the barrier groups."""
     aa_lock = threading.Lock()
     counter_lock = threading.Lock()
 
@@ -462,121 +720,390 @@ def _run_threaded(
 
     tracer = get_tracer()
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        if etree_parallel:
-            for index, group in enumerate(levels):
-                # Barrier per level: drain every future, then retry
-                # any casualties sequentially before the next level
-                # (cousins only share the locked A×A region, so a
-                # straggler cannot invalidate its siblings' work).
-                with tracer.span("level", index=index, size=int(group.shape[0])):
-                    drain({s: pool.submit(run, s) for s in group.tolist()})
-        else:
-            for s in range(structure.ns):
-                drain({s: pool.submit(run, s)})
+        for index, group in enumerate(groups):
+            # Barrier per group: drain every future, then retry any
+            # casualties sequentially before the next group (cousins
+            # only share the locked A×A region, so a straggler cannot
+            # invalidate its siblings' work).
+            span = (
+                tracer.span(
+                    "level", index=group_offset + index, size=len(group)
+                )
+                if spans
+                else nullcontext()
+            )
+            with span:
+                drain({s: pool.submit(run, s) for s in group})
+            if on_group_done is not None:
+                on_group_done(group_offset + index + 1, dist)
+
+
+def _run_sequential(
+    dist: np.ndarray,
+    structure,
+    groups,
+    *,
+    exact_panels: bool,
+    tracker: BudgetTracker | None,
+    ops: OpCounter,
+    group_offset: int = 0,
+    on_group_done=None,
+) -> None:
+    """Last-resort escalation: eliminate the remaining groups inline.
+
+    Deliberately bypasses the fault-injection task site — this is the
+    guaranteed-progress path the escalation chain bottoms out on, and
+    min-plus idempotence keeps its re-runs bit-identical.
+    """
+    for index, group in enumerate(groups):
+        for s in group:
+            local = OpCounter()
+            eliminate_supernode(
+                dist,
+                structure,
+                s,
+                exact_panels=exact_panels,
+                semiring=MIN_PLUS,
+                counter=local,
+            )
+            ops.merge(local)
+            if tracker is not None:
+                tracker.charge(
+                    local.total, units=1, where=f"parallel-superfw:supernode {s}"
+                )
+        if on_group_done is not None:
+            on_group_done(group_offset + index + 1, dist)
+
+
+class _BarrierSnapshot:
+    """Level-start copy of the shared matrix for bit-exact re-dispatch.
+
+    Min-plus idempotence makes re-running an interrupted supernode
+    mathematically safe but **not** bit-exact: the relaxation kernels
+    fold already-rounded sums, so a re-run over its own partially
+    relaxed strips composes those sums in a different order and can
+    round one ULP below the sequential answer.  The supervised driver
+    therefore copies the matrix at each level barrier and, before any
+    re-dispatch (or sequential re-run, or escalation), restores the
+    strips a task may have touched — its subtree rows and columns plus
+    the matching column strips.  Cousin subtrees are disjoint and the
+    deferred ``A×A`` region lies outside every cousin strip, so a
+    restore never disturbs finished or still-running siblings; min
+    itself is exact in any order, so with bit-identical inputs the
+    re-run reproduces the undisturbed result bit for bit.
+
+    Costs one extra ``n²`` buffer plus an ``n²`` copy per level —
+    supervised process solves only.
+    """
+
+    def __init__(self, shared: np.ndarray, structure) -> None:
+        self.shared = shared
+        self.structure = structure
+        self.snap = np.empty_like(shared)
+        self._strips: dict[int, np.ndarray] = {}
+
+    def capture(self) -> None:
+        """Record the barrier state of the current level."""
+        np.copyto(self.snap, self.shared)
+
+    def _strip(self, s: int) -> np.ndarray:
+        strip = self._strips.get(s)
+        if strip is None:
+            lo, hi = self.structure.col_range(s)
+            strip = np.concatenate(
+                [
+                    self.structure.descendant_vertices(s),
+                    np.arange(lo, hi, dtype=np.int64),
+                ]
+            )
+            self._strips[s] = strip
+        return strip
+
+    def restore(self, s: int) -> None:
+        """Rewind supernode ``s``'s read/write footprint to the barrier.
+
+        ``eliminate_supernode`` reads and writes only within the union
+        of its subtree's rows and columns (diag, both panels, and the
+        D×D/D×A/A×D trailing regions all carry a subtree index on at
+        least one axis), so restoring those two strips is exactly an
+        undo of any partial first attempt.
+        """
+        strip = self._strip(s)
+        self.shared[strip, :] = self.snap[strip, :]
+        self.shared[:, strip] = self.snap[:, strip]
 
 
 def _run_process(
     dist: np.ndarray,
+    plan: Plan,
     structure,
-    levels,
+    groups,
     *,
     workers: int,
-    etree_parallel: bool,
+    spans: bool,
     exact_panels: bool,
     retry: RetryPolicy,
     tracker: BudgetTracker | None,
     ops: OpCounter,
     recovery: dict,
     eng: SemiringGemmEngine,
-    pool: SharedPlanPool | None = None,
+    pool: SharedPlanPool | None,
+    policy: SupervisorPolicy | None,
+    group_offset: int = 0,
+    on_group_done=None,
 ) -> None:
-    """The shared-memory process-pool executor over the level schedule.
+    """The shared-memory process-pool executor over the barrier groups.
 
     The permuted matrix moves into a shared segment for the duration of
     the solve (workers mutate it through :func:`_process_eliminate`) and
-    is copied back into ``dist`` at the end.  ``fork`` start method: the
-    pool inherits the coordinator cheaply and the initializer still runs,
-    keeping behavior identical under ``spawn`` semantics if changed.
-    With a persistent ``pool``, its warm workers and segment are reused
-    and nothing is created or torn down here.
+    is copied back into ``dist`` at the end.  With a persistent ``pool``,
+    its warm workers and segment are reused; otherwise a transient
+    :class:`SharedPlanPool` is built and torn down here — one code path
+    either way, which is what lets the supervisor rebuild both kinds.
+    When the supervisor exhausts ``max_pool_rebuilds``, the remaining
+    groups escalate down ``policy.escalate`` (thread, then sequential)
+    on the same shared matrix; the barrier rewind in :func:`_escalate`
+    keeps the result bit-identical.
     """
-    if pool is not None:
+    transient = pool is None
+    if transient:
+        pool = SharedPlanPool(
+            plan,
+            num_workers=workers,
+            exact_panels=exact_panels,
+            dtype=dist.dtype,
+            engine=eng,
+            heartbeat_interval=(
+                policy.heartbeat_interval if policy is not None else 0.2
+            ),
+        )
+    try:
+        pool.ensure_alive()
         shared = pool.shared
         shared[:] = dist
-        _drive_process(
-            pool.submit,
-            shared,
-            structure,
-            levels,
-            etree_parallel=etree_parallel,
-            exact_panels=exact_panels,
-            retry=retry,
-            tracker=tracker,
-            ops=ops,
-            recovery=recovery,
-            eng=eng,
-        )
-        dist[:] = shared
-        pool.solves += 1
-        return
-    shm = shared_memory.SharedMemory(create=True, size=dist.nbytes)
-    try:
-        shared = np.ndarray(dist.shape, dtype=dist.dtype, buffer=shm.buf)
-        shared[:] = dist
-        init_args = (
-            shm.name,
-            dist.shape,
-            dist.dtype.str,
-            structure,
-            exact_panels,
-            eng.spawn_config(),
-            export_fault_state(),
-        )
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=get_context("fork"),
-            initializer=_process_init,
-            initargs=init_args,
-        ) as transient:
+        progress = {"groups_done": group_offset}
+        try:
             _drive_process(
-                lambda s, r, t=False: transient.submit(_process_eliminate, s, r, t),
+                pool,
                 shared,
                 structure,
-                levels,
-                etree_parallel=etree_parallel,
+                groups,
+                spans=spans,
                 exact_panels=exact_panels,
                 retry=retry,
                 tracker=tracker,
                 ops=ops,
                 recovery=recovery,
                 eng=eng,
+                policy=policy,
+                group_offset=group_offset,
+                on_group_done=on_group_done,
+                progress=progress,
             )
+        except WorkerCrashError as exc:
+            _escalate(
+                exc,
+                shared=shared,
+                structure=structure,
+                groups=groups,
+                workers=workers,
+                exact_panels=exact_panels,
+                retry=retry,
+                tracker=tracker,
+                ops=ops,
+                recovery=recovery,
+                policy=policy,
+                group_offset=group_offset,
+                on_group_done=on_group_done,
+                progress=progress,
+            )
+        except BrokenExecutor as exc:
+            # Unsupervised path: never leak the raw executor error.
+            pool.terminate()
+            raise WorkerCrashError(
+                "a process-pool worker died with supervision disabled "
+                "(supervise=False); re-run supervised for automatic recovery",
+                cause="crash",
+            ) from exc
         dist[:] = shared
+        if not transient:
+            pool.solves += 1
     finally:
-        shm.close()
-        shm.unlink()
+        if transient:
+            pool.close()
+
+
+def _escalate(
+    exc: WorkerCrashError,
+    *,
+    shared: np.ndarray,
+    structure,
+    groups,
+    workers: int,
+    exact_panels: bool,
+    retry: RetryPolicy,
+    tracker: BudgetTracker | None,
+    ops: OpCounter,
+    recovery: dict,
+    policy: SupervisorPolicy | None,
+    group_offset: int,
+    on_group_done,
+    progress: dict,
+) -> None:
+    """Finish the solve in-process after supervision gave up.
+
+    The unfinished supernodes of the interrupted group plus every later
+    group re-run on ``shared`` through the escalation chain.  Before the
+    chain starts, each pending task's strips are rewound to the level
+    barrier (:class:`_BarrierSnapshot`, carried in ``progress``) so the
+    re-runs are bit-identical, not merely idempotent-safe.  A chain
+    backend that itself fails with a typed error hands the (possibly
+    partially advanced) remainder to the next one; the chain's
+    exhaustion re-raises the original error.
+    """
+    chain = list(policy.escalate) if policy is not None else []
+    if not chain:
+        raise exc
+    barrier = progress.get("barrier")
+    if barrier is not None and exc.pending:
+        # The supervisor terminated the pool before raising, so nothing
+        # is writing shared memory and the rewind cannot race.
+        for s in exc.pending:
+            barrier.restore(int(s))
+    done = progress["groups_done"]  # global count of completed groups
+    local = done - group_offset  # index of the interrupted group
+    remaining = [sorted(int(s) for s in exc.pending)] + [
+        list(g) for g in groups[local + 1 :]
+    ]
+    if not remaining[0]:
+        remaining = remaining[1:]
+        done += 1
+    if not remaining:
+        return
+    tracer = get_tracer()
+    for backend_name in chain:
+        recovery.setdefault("escalations", []).append(backend_name)
+        with tracer.span(
+            "resilience.recover.escalate", to=backend_name, cause=exc.cause
+        ):
+            try:
+                if backend_name == "thread":
+                    _run_threaded(
+                        shared,
+                        structure,
+                        remaining,
+                        workers=workers,
+                        spans=False,
+                        exact_panels=exact_panels,
+                        semiring=MIN_PLUS,
+                        retry=retry,
+                        tracker=tracker,
+                        ops=ops,
+                        recovery=recovery,
+                        group_offset=done,
+                        on_group_done=on_group_done,
+                    )
+                else:
+                    _run_sequential(
+                        shared,
+                        structure,
+                        remaining,
+                        exact_panels=exact_panels,
+                        tracker=tracker,
+                        ops=ops,
+                        group_offset=done,
+                        on_group_done=on_group_done,
+                    )
+                return
+            except BudgetExceededError:
+                raise
+            except ReproError as chain_exc:
+                recovery.setdefault("escalation_errors", []).append(
+                    f"{backend_name}: {chain_exc}"
+                )
+    raise exc
 
 
 def _drive_process(
-    submit,
+    pool: SharedPlanPool,
     shared: np.ndarray,
     structure,
-    levels,
+    groups,
     *,
-    etree_parallel: bool,
+    spans: bool,
     exact_panels: bool,
     retry: RetryPolicy,
     tracker: BudgetTracker | None,
     ops: OpCounter,
     recovery: dict,
     eng: SemiringGemmEngine,
+    policy: SupervisorPolicy | None,
+    group_offset: int = 0,
+    on_group_done=None,
+    progress: dict | None = None,
 ) -> None:
-    """Run the level schedule against an already-attached worker pool."""
+    """Run the barrier groups against an already-attached worker pool."""
     tracer = get_tracer()
     traced = tracer.enabled
+    progress = progress if progress is not None else {"groups_done": group_offset}
+    supervisor = (
+        Supervisor(policy, pool, recovery=recovery) if policy is not None else None
+    )
+    # Bit-exact recovery needs the level-barrier state to rewind a
+    # redispatched task's strips to (see _BarrierSnapshot); shared via
+    # ``progress`` so _escalate can rewind the pending tasks too.
+    barrier = _BarrierSnapshot(shared, structure) if supervisor is not None else None
+    progress["barrier"] = barrier
+    wall = (
+        tracker.budget.wall_seconds
+        if tracker is not None and tracker.budget.wall_seconds is not None
+        else None
+    )
+
+    def submit(s: int, attempt_base: int = 0):
+        if attempt_base and barrier is not None:
+            # Re-dispatch after a recovery: the first attempt may have
+            # died mid-write, so rewind this task's strips to the level
+            # barrier before the new attempt reads them.
+            barrier.restore(s)
+        deadline = None
+        if wall is not None:
+            deadline = time.monotonic() + max(0.0, wall - tracker.elapsed())
+        return pool.submit(
+            s, retry, traced, attempt_base=attempt_base, deadline=deadline
+        )
+
+    def on_result(s: int, value) -> None:
+        used, local, payload, stats, events, metrics = value
+        if used > 1:
+            recovery["task_retries"] += used - 1
+        # Worker op counts fold through OpCounter.merge — the same
+        # accumulation path as the sequential and threaded modes —
+        # and the engine delta carries the worker's workspace
+        # hits/misses, not just its strategy counters.
+        ops.merge(local)
+        eng.merge_stats(stats["strategies"], workspace=stats["workspace"])
+        if events:
+            tracer.merge(events)
+        if metrics:
+            tracer.metrics.merge_snapshot(metrics)
+        if payload is not None:
+            anc, update = payload
+            with tracer.span("aa-apply", snode=s):
+                aa = shared[np.ix_(anc, anc)]
+                np.minimum(aa, update, out=aa)
+                shared[np.ix_(anc, anc)] = aa
+        if tracker is not None:
+            tracker.charge(
+                local.total,
+                units=1,
+                where=f"parallel-superfw:supernode {s}",
+            )
 
     def recover_sequentially(s: int, cause: BaseException) -> None:
         recovery["sequential_reruns"].append(int(s))
+        if barrier is not None:
+            barrier.restore(s)
         local = OpCounter()
         try:
             task_site(s, retry.max_attempts + 1)
@@ -603,45 +1130,39 @@ def _drive_process(
                 local.total, units=1, where=f"parallel-superfw:supernode {s}"
             )
 
-    def drain(pending: dict) -> None:
-        failures: list[tuple[int, BaseException]] = []
+    def drain_unsupervised(group) -> list[tuple[int, ReproError]]:
+        pending = {s: submit(s) for s in group}
+        failures: list[tuple[int, ReproError]] = []
+        budget_error: BudgetExceededError | None = None
         for s, future in pending.items():
             try:
-                used, local, payload, stats, events, metrics = future.result()
+                value = future.result()
+            except BudgetExceededError as exc:
+                budget_error = exc
             except ReproError as exc:
                 failures.append((s, exc))
-                continue
-            if used > 1:
-                recovery["task_retries"] += used - 1
-            # Worker op counts fold through OpCounter.merge — the same
-            # accumulation path as the sequential and threaded modes —
-            # and the engine delta carries the worker's workspace
-            # hits/misses, not just its strategy counters.
-            ops.merge(local)
-            eng.merge_stats(stats["strategies"], workspace=stats["workspace"])
-            if events:
-                tracer.merge(events)
-            if metrics:
-                tracer.metrics.merge_snapshot(metrics)
-            if payload is not None:
-                anc, update = payload
-                with tracer.span("aa-apply", snode=s):
-                    aa = shared[np.ix_(anc, anc)]
-                    np.minimum(aa, update, out=aa)
-                    shared[np.ix_(anc, anc)] = aa
-            if tracker is not None:
-                tracker.charge(
-                    local.total,
-                    units=1,
-                    where=f"parallel-superfw:supernode {s}",
-                )
-        for s, exc in failures:
-            recover_sequentially(s, exc)
+            else:
+                on_result(s, value)
+        if budget_error is not None:
+            raise budget_error
+        return failures
 
-    if etree_parallel:
-        for index, group in enumerate(levels):
-            with tracer.span("level", index=index, size=int(group.shape[0])):
-                drain({s: submit(s, retry, traced) for s in group.tolist()})
-    else:
-        for s in range(structure.ns):
-            drain({s: submit(s, retry, traced)})
+    for index, group in enumerate(groups):
+        span = (
+            tracer.span("level", index=group_offset + index, size=len(group))
+            if spans
+            else nullcontext()
+        )
+        with span:
+            if supervisor is not None:
+                barrier.capture()
+                failures = supervisor.run_group(
+                    group, submit=submit, on_result=on_result
+                )
+            else:
+                failures = drain_unsupervised(group)
+            for s, exc in failures:
+                recover_sequentially(s, exc)
+        progress["groups_done"] = group_offset + index + 1
+        if on_group_done is not None:
+            on_group_done(progress["groups_done"], shared)

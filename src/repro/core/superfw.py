@@ -56,6 +56,10 @@ SuperFWPlan = Plan
 plan_superfw = analyze
 
 
+def _no_check() -> None:
+    """Default (free) cooperative-abort hook for :func:`eliminate_supernode`."""
+
+
 def eliminate_supernode(
     dist: np.ndarray,
     structure: SupernodalStructure,
@@ -66,6 +70,7 @@ def eliminate_supernode(
     counter: OpCounter | None = None,
     aa_lock=None,
     defer_aa: bool = False,
+    check=None,
 ) -> tuple[np.ndarray, np.ndarray] | None:
     """Eliminate one supernode in place on the permuted distance matrix.
 
@@ -77,16 +82,22 @@ def eliminate_supernode(
     *returns* the ``A×A`` contribution as ``(anc, update)`` without
     touching that region — the process-pool backend's workers hand it to
     the coordinator, which applies the ⊕-accumulations itself (the
-    paper's "those blocks are updated sequentially").  Returns ``None``
-    when the region was applied here or is empty.
+    paper's "those blocks are updated sequentially").  ``check`` (when
+    given) is a no-arg callable invoked *between* the panel/outer ops —
+    a cooperative abort point for deadlines and budgets enforced inside
+    process workers; aborting mid-supernode is safe because min-plus
+    updates are idempotent and the task can simply be re-run.  Returns
+    ``None`` when the region was applied here or is empty.
     """
     counter = counter if counter is not None else OpCounter()
+    check = check if check is not None else _no_check
     tracer = get_tracer()
     with tracer.span("eliminate", snode=s):
         lo, hi = structure.col_range(s)
         diag = dist[lo:hi, lo:hi]
         with tracer.span("diag", snode=s):
             counter.add("diag", diag_update(diag, semiring))
+        check()
         desc = structure.descendant_vertices(s)
         anc = structure.ancestor_vertices(s, exact=exact_panels)
         rows = np.concatenate([desc, anc]) if desc.size or anc.size else desc
@@ -99,6 +110,7 @@ def eliminate_supernode(
             counter.add("panel", panel_update_rows(row_panel, diag, semiring))
         dist[rows, lo:hi] = col_panel
         dist[lo:hi, rows] = row_panel
+        check()
         nd_rows = desc.shape[0]
         if aa_lock is None and not defer_aa:
             with tracer.span("outer", snode=s):
@@ -120,6 +132,7 @@ def eliminate_supernode(
                     ),
                 )
                 dist[np.ix_(desc, desc)] = dd
+                check()
                 if anc.size:
                     da = dist[np.ix_(desc, anc)]
                     counter.add(
@@ -137,6 +150,7 @@ def eliminate_supernode(
                         ),
                     )
                     dist[np.ix_(anc, desc)] = ad
+        check()
         if anc.size:
             with tracer.span("aa", snode=s, deferred=defer_aa):
                 update = np.full((anc.shape[0], anc.shape[0]), semiring.zero)

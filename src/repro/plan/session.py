@@ -149,6 +149,13 @@ class APSPSession:
         ``trace=`` (as in :func:`repro.core.api.apsp`) traces just this
         solve — the "analyze once, solve many, trace one" pattern: a
         warm process pool serves traced and untraced solves alike.
+
+        Resilience overrides pass straight through to the backend:
+        ``supervise=`` tunes (or disables) the supervised process
+        backend, and ``checkpoint=`` / ``resume=True`` snapshot and
+        restart long solves at elimination-level granularity.  A solve
+        that exhausts its recovery budget terminates the session's warm
+        pool; the next ``solve`` transparently rebuilds it.
         """
         if self._closed:
             raise RuntimeError("session is closed")

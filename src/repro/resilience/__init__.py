@@ -1,25 +1,33 @@
 """Resilient execution layer: typed errors, fault injection, retry,
-budgets, and the verified fallback chain.
+budgets, supervision, checkpoints, and the verified fallback chain.
 
 Everything that can go wrong in a solve flows through this package:
 failures are classified into the :class:`ReproError` hierarchy
-(validation, task, kernel, budget, fallback — the taxonomy
+(validation, task, kernel, worker-crash, budget, fallback — the taxonomy
 ``docs/ARCHITECTURE.md`` calls the *error contract*); deterministic
 fault injection (:func:`inject_faults`) exercises those paths in tests
-and CI; per-supernode retries (:class:`RetryPolicy`,
-:func:`~repro.resilience.retry.call_with_retry`) exploit the idempotence
-of min-plus updates; :class:`SolveBudget` bounds wall-clock, operations,
-and memory at task granularity; and ``method="auto"`` escalates down the
-certificate-verified fallback chain
-(:func:`~repro.resilience.fallback.solve_with_fallback`).  Retry and
-fallback transitions are also reported to the ambient tracer
-(:mod:`repro.obs`) as ``retry`` instants and ``fallback`` spans.
+and CI, including the process-level chaos sites (``worker_kill``,
+``worker_hang``, ``shm_detach``); per-supernode retries
+(:class:`RetryPolicy`, :func:`~repro.resilience.retry.call_with_retry`)
+exploit the idempotence of min-plus updates; :class:`SolveBudget` bounds
+wall-clock, operations, and memory at task granularity — cooperatively
+inside process workers too; the heartbeat :class:`Supervisor` rebuilds a
+crashed or hung process pool and re-dispatches the unfinished level
+(:mod:`repro.resilience.supervisor`); :class:`CheckpointManager`
+snapshots the distance matrix at level barriers for ``resume=``
+(:mod:`repro.resilience.checkpoint`); and ``method="auto"`` escalates
+down the certificate-verified fallback chain
+(:func:`~repro.resilience.fallback.solve_with_fallback`).  Retry,
+recovery, checkpoint, and fallback transitions are also reported to the
+ambient tracer (:mod:`repro.obs`) as ``retry`` instants and
+``fallback`` / ``resilience.recover.*`` spans.
 
 See ``docs/RESILIENCE.md`` for the full design and the CLI exit-code
-mapping (2 validation / 3 budget / 4 fallback-exhausted).
+mapping (2 validation / 3 budget / 4 fallback-exhausted / 5 worker-crash).
 """
 
 from repro.resilience.budget import BudgetTracker, SolveBudget, as_tracker
+from repro.resilience.checkpoint import CheckpointManager, solve_key, weights_sha
 from repro.resilience.errors import (
     BudgetExceededError,
     FallbackExhaustedError,
@@ -27,8 +35,10 @@ from repro.resilience.errors import (
     KernelFaultError,
     NegativeCycleError,
     ReproError,
+    SolveTimeoutError,
     TaskFailedError,
     UnknownMethodError,
+    WorkerCrashError,
 )
 from repro.resilience.fallback import DEFAULT_CHAIN, Attempt, solve_with_fallback
 from repro.resilience.faults import (
@@ -39,28 +49,43 @@ from repro.resilience.faults import (
     inject_faults,
 )
 from repro.resilience.retry import DEFAULT_TASK_RETRY, RetryPolicy, call_with_retry
+from repro.resilience.supervisor import (
+    HeartbeatBoard,
+    Supervisor,
+    SupervisorPolicy,
+    coerce_policy,
+)
 
 __all__ = [
     "Attempt",
     "BudgetExceededError",
     "BudgetTracker",
+    "CheckpointManager",
     "DEFAULT_CHAIN",
     "DEFAULT_TASK_RETRY",
     "FallbackExhaustedError",
     "FaultInjector",
     "FaultSpec",
     "GraphValidationError",
+    "HeartbeatBoard",
     "KernelFaultError",
     "NegativeCycleError",
     "ReproError",
     "RetryPolicy",
     "SolveBudget",
+    "SolveTimeoutError",
+    "Supervisor",
+    "SupervisorPolicy",
     "TaskFailedError",
     "UnknownMethodError",
+    "WorkerCrashError",
     "active_injector",
     "as_tracker",
     "call_with_retry",
+    "coerce_policy",
     "default_fault_seed",
     "inject_faults",
+    "solve_key",
     "solve_with_fallback",
+    "weights_sha",
 ]

@@ -1,0 +1,177 @@
+"""Level-granular checkpoint/resume for long supernodal solves.
+
+The supernodal sweep is a sequence of barrier groups (elimination-tree
+levels); between groups the permuted distance matrix is the *entire*
+solver state.  A :class:`CheckpointManager` snapshots that matrix plus a
+group cursor after each completed barrier, so a solve whose coordinator
+is killed mid-way resumes from the last finished level instead of from
+scratch — and, because every group is replayed from a bit-exact barrier
+state, the resumed result is bit-identical to an uninterrupted run.
+
+Checkpoints are keyed by the *solve identity*: the plan id (structure +
+ordering + analyze parameters), a SHA of the permuted input weights, and
+the schedule flavor (level-parallel vs per-supernode).  Resuming against
+a different graph, plan, or schedule silently misses and the solve runs
+from scratch; a corrupt or truncated file is likewise ignored rather
+than trusted.
+
+Files are npz (JSON header + arrays, the :meth:`repro.plan.plan.Plan.save`
+idiom) written atomically — tmp file then ``os.replace`` — so a
+coordinator killed *during* a checkpoint leaves the previous good
+snapshot in place, never a torn one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import zipfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs import get_tracer
+
+CHECKPOINT_FORMAT = "repro-superfw-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def weights_sha(matrix: np.ndarray) -> str:
+    """Digest of the (permuted) input weights identifying the instance."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(matrix).tobytes())
+    return h.hexdigest()[:24]
+
+
+def solve_key(plan_id: str, weights: str, flavor: str) -> str:
+    """Stable checkpoint key for one (plan, weights, schedule) solve."""
+    payload = f"{plan_id}:{weights}:{flavor}".encode()
+    return hashlib.blake2b(payload, digest_size=10).hexdigest()
+
+
+@dataclass
+class CheckpointManager:
+    """Writes and loads barrier-group checkpoints under one directory.
+
+    Attributes
+    ----------
+    directory:
+        Where snapshots live; created on first write.
+    every:
+        Snapshot cadence in completed groups (1 = after every level).
+    keep:
+        When false (default), a successfully finished solve removes its
+        checkpoint — resume is for *interrupted* solves, and a stale
+        snapshot of a finished run would only waste disk.
+    """
+
+    directory: Path
+    every: int = 1
+    keep: bool = False
+    _writes: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        self.every = max(1, int(self.every))
+
+    @classmethod
+    def coerce(cls, value) -> "CheckpointManager | None":
+        """Normalize a ``checkpoint=`` argument (``None`` disables)."""
+        if value is None or value is False:
+            return None
+        if isinstance(value, CheckpointManager):
+            return value
+        if isinstance(value, (str, os.PathLike)):
+            return cls(directory=Path(value))
+        if isinstance(value, dict):
+            return cls(**value)
+        raise TypeError(
+            "checkpoint must be None, a directory path, a dict of "
+            "CheckpointManager fields, or a CheckpointManager"
+        )
+
+    def path_for(self, key: str) -> Path:
+        """Snapshot file path for a solve key."""
+        return self.directory / f"superfw-{key}.npz"
+
+    def due(self, groups_done: int) -> bool:
+        """Whether a snapshot is due after ``groups_done`` groups."""
+        return groups_done % self.every == 0
+
+    def write(self, key: str, matrix: np.ndarray, *, groups_done: int,
+              meta: dict) -> Path:
+        """Atomically snapshot ``matrix`` after ``groups_done`` groups."""
+        started = time.monotonic_ns()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        header = {
+            "format": CHECKPOINT_FORMAT,
+            "version": CHECKPOINT_VERSION,
+            "key": key,
+            "groups_done": int(groups_done),
+            **meta,
+        }
+        tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(
+                    fh,
+                    header=np.frombuffer(
+                        json.dumps(header).encode(), dtype=np.uint8
+                    ),
+                    dist=matrix,
+                )
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.metrics.inc("checkpoint.writes")
+            tracer.metrics.inc(
+                "checkpoint.write_ns", time.monotonic_ns() - started
+            )
+        self._writes += 1
+        return path
+
+    def load(self, key: str, *, expect: dict) -> tuple[np.ndarray, int] | None:
+        """Load a matching snapshot: ``(matrix, groups_done)`` or ``None``.
+
+        ``expect`` holds header fields that must match exactly (plan id,
+        weights digest, group count, ...).  Any mismatch, missing file,
+        or unreadable/corrupt payload returns ``None`` — resume must
+        never be less safe than solving from scratch.
+        """
+        path = self.path_for(key)
+        try:
+            with np.load(path) as data:
+                header = json.loads(bytes(data["header"]).decode())
+                if header.get("format") != CHECKPOINT_FORMAT:
+                    return None
+                if header.get("version", 0) > CHECKPOINT_VERSION:
+                    return None
+                if any(header.get(k) != v for k, v in expect.items()):
+                    return None
+                matrix = np.array(data["dist"])
+        except (
+            OSError,
+            KeyError,
+            ValueError,
+            EOFError,
+            json.JSONDecodeError,
+            zipfile.BadZipFile,
+        ):
+            # A truncated npz surfaces as BadZipFile (or EOFError from
+            # the pickle layer), not OSError — treat all of them as "no
+            # usable snapshot".
+            return None
+        groups_done = int(header["groups_done"])
+        if groups_done < 0:
+            return None
+        return matrix, groups_done
+
+    def clear(self, key: str) -> None:
+        """Remove the snapshot for ``key`` (no-op when absent)."""
+        self.path_for(key).unlink(missing_ok=True)

@@ -16,8 +16,15 @@ Hierarchy::
     ├── PlanMismatchError (ValueError)      plan reused on a different structure
     ├── KernelFaultError (RuntimeError)     a semiring kernel step failed
     ├── TaskFailedError (RuntimeError)      a supernode task died after retries
+    ├── WorkerCrashError (RuntimeError)     a pool worker died and supervision
+    │   │                                   exhausted its rebuild budget
+    │   └── SolveTimeoutError               a task blew its deadline repeatedly
     ├── BudgetExceededError (RuntimeError)  solve budget exhausted mid-flight
     └── FallbackExhaustedError (RuntimeError)  every backend in the chain failed
+
+Every class pickles faithfully (payload attributes included) so typed
+errors raised inside process-pool workers arrive intact at the
+coordinator instead of degrading to bare-message copies.
 """
 
 from __future__ import annotations
@@ -25,8 +32,26 @@ from __future__ import annotations
 from typing import Any
 
 
+def _restore_error(cls, args, state):
+    """Rebuild a :class:`ReproError` from its pickled (args, state) pair.
+
+    Bypasses the subclass ``__init__`` (several take required keyword
+    arguments the default ``Exception`` reduce protocol cannot supply).
+    """
+    exc = cls.__new__(cls)
+    Exception.__init__(exc, *args)
+    exc.__dict__.update(state)
+    return exc
+
+
 class ReproError(Exception):
     """Base class of every typed error raised by the library."""
+
+    def __reduce__(self):
+        # Keyword-only payloads (limit=, supernode=, ...) do not survive
+        # the default (cls, self.args) reduce; rebuild via __new__ so
+        # worker-raised errors cross the process boundary losslessly.
+        return (_restore_error, (type(self), self.args, dict(self.__dict__)))
 
 
 class GraphValidationError(ReproError, ValueError):
@@ -95,6 +120,48 @@ class TaskFailedError(ReproError, RuntimeError):
         super().__init__(message)
         self.supernode = supernode
         self.attempts = attempts
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A process-pool worker died (SIGKILL, OOM, lost shm mapping) and the
+    supervisor exhausted its pool-rebuild budget.
+
+    Raw ``BrokenProcessPoolError`` never escapes the library: the
+    supervised process backend maps hard worker deaths into this typed
+    error (CLI exit code 5) after recovery fails.
+
+    Attributes
+    ----------
+    cause:
+        What tripped supervision last: ``"crash"`` (broken pool),
+        ``"heartbeat"`` (missed worker heartbeats) or ``"timeout"``
+        (task deadline exceeded).
+    rebuilds:
+        Pool rebuilds attempted before giving up.
+    pending:
+        Supernode tasks still outstanding when supervision gave up.
+    """
+
+    def __init__(self, message: str, *, cause: str = "crash",
+                 rebuilds: int = 0, pending: list | None = None) -> None:
+        super().__init__(message)
+        self.cause = cause
+        self.rebuilds = rebuilds
+        self.pending = list(pending or [])
+
+
+class SolveTimeoutError(WorkerCrashError):
+    """A supernode task exceeded its deadline past the rebuild budget.
+
+    Subclass of :class:`WorkerCrashError` (a hung worker is handled —
+    and exits — exactly like a dead one); ``cause`` is ``"timeout"``.
+    """
+
+    def __init__(self, message: str, *, rebuilds: int = 0,
+                 pending: list | None = None) -> None:
+        super().__init__(
+            message, cause="timeout", rebuilds=rebuilds, pending=pending
+        )
 
 
 class BudgetExceededError(ReproError, RuntimeError):

@@ -7,7 +7,15 @@ The injector hooks two layers of the solver stack:
   corrupt one entry of its output block with NaN;
 * **task sites** — each per-supernode elimination task (sequential sweep
   or threaded executor) may raise :class:`TaskFailedError` or sleep for a
-  configurable delay before running.
+  configurable delay before running;
+* **process sites** (the chaos harness) — inside a pool worker an
+  elimination attempt may SIGKILL its own process (``worker_kill``),
+  hang for ``worker_hang_seconds`` (``worker_hang``), or die abruptly
+  as if its shared-memory mapping vanished (``shm_detach`` →
+  ``os._exit``).  These fire **only in worker processes**: the exported
+  spec records the coordinator's pid (``origin_pid``), and a draw is
+  honored only when ``os.getpid()`` differs — so chaos can never kill
+  the coordinating process or a threaded backend.
 
 Decisions are *stateless and deterministic*: each site draws a
 pseudo-random number from a stable hash of ``(seed, site, key...)``, so a
@@ -32,6 +40,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import signal
 import threading
 import time
 from contextlib import contextmanager
@@ -72,6 +81,19 @@ class FaultSpec:
     task_delay_rate / delay_seconds:
         Probability / duration of an injected sleep before a task runs
         (exercises wall-clock budgets).
+    worker_kill_rate:
+        Probability that a pool worker SIGKILLs itself at the start of
+        an elimination attempt (chaos harness; worker processes only).
+    worker_hang_rate / worker_hang_seconds:
+        Probability / duration of a worker hanging inside a task
+        (exercises heartbeats and per-task deadlines).
+    shm_detach_rate:
+        Probability that a worker dies abruptly via ``os._exit`` as if
+        its shared-memory mapping disappeared.
+    origin_pid:
+        Set by :func:`export_fault_state`: the coordinator's pid.  The
+        worker-process sites above only fire when the current pid
+        differs, so chaos is confined to pool workers.
     """
 
     seed: int | None = None
@@ -80,6 +102,19 @@ class FaultSpec:
     task_failure_rate: float = 0.0
     task_delay_rate: float = 0.0
     delay_seconds: float = 0.0
+    worker_kill_rate: float = 0.0
+    worker_hang_rate: float = 0.0
+    worker_hang_seconds: float = 30.0
+    shm_detach_rate: float = 0.0
+    origin_pid: int | None = None
+
+    def chaos_rates(self) -> dict[str, float]:
+        """The process-level (chaos) rates, by site name."""
+        return {
+            "worker_kill": self.worker_kill_rate,
+            "worker_hang": self.worker_hang_rate,
+            "shm_detach": self.shm_detach_rate,
+        }
 
     def resolved_seed(self) -> int:
         """The effective seed (field, or the environment default)."""
@@ -156,6 +191,27 @@ class FaultInjector:
     def on_task(self, supernode: int, attempt: int) -> None:
         """Called at the start of each supernode-elimination attempt."""
         spec = self.spec
+        if spec.origin_pid is not None and os.getpid() != spec.origin_pid:
+            # Process-level chaos sites: only ever fire inside a pool
+            # worker (never the coordinator — origin_pid pins it).
+            if spec.worker_kill_rate and _draw(
+                self._seed, "worker-kill", supernode, attempt
+            ) < spec.worker_kill_rate:
+                self._count("worker_kills")
+                os.kill(os.getpid(), signal.SIGKILL)
+            if spec.shm_detach_rate and _draw(
+                self._seed, "shm-detach", supernode, attempt
+            ) < spec.shm_detach_rate:
+                self._count("shm_detaches")
+                # Abrupt death without signal: mimics the mapping (or the
+                # worker's memory) vanishing under it.  No atexit, no
+                # cleanup — exactly what the supervisor must survive.
+                os._exit(70)
+            if spec.worker_hang_rate and spec.worker_hang_seconds > 0 and _draw(
+                self._seed, "worker-hang", supernode, attempt
+            ) < spec.worker_hang_rate:
+                self._count("worker_hangs")
+                time.sleep(spec.worker_hang_seconds)
         if spec.task_delay_rate and spec.delay_seconds > 0 and _draw(
             self._seed, "task-delay", supernode, attempt
         ) < spec.task_delay_rate:
@@ -207,15 +263,22 @@ def export_fault_state() -> tuple[FaultSpec | None, str | None]:
     """Picklable fault state for a worker-process initializer.
 
     Returns ``(spec, env_seed)``: the active injector's spec with its seed
-    *resolved* (so the worker does not depend on its own environment), and
-    the coordinator's raw ``REPRO_FAULT_SEED`` value (propagated even when
+    *resolved* (so the worker does not depend on its own environment) and
+    ``origin_pid`` stamped to this process's pid (arming the
+    worker-process chaos sites in the receiving worker), and the
+    coordinator's raw ``REPRO_FAULT_SEED`` value (propagated even when
     no injector is installed, so a solve started inside a worker sees the
     same default seed).
     """
     injector = _ACTIVE
     spec = None
     if injector is not None:
-        spec = replace(injector.spec, seed=injector._seed)
+        origin = injector.spec.origin_pid
+        spec = replace(
+            injector.spec,
+            seed=injector._seed,
+            origin_pid=os.getpid() if origin is None else origin,
+        )
     return spec, os.environ.get(_ENV_SEED)
 
 

@@ -1,0 +1,73 @@
+"""Leak-proof shared-memory ownership for the process backend.
+
+A ``multiprocessing.shared_memory.SharedMemory`` segment created by a
+solve coordinator lives in ``/dev/shm`` until someone calls ``unlink``.
+The happy path does that in a ``finally`` — but a coordinator that dies
+on an unhandled exception *outside* that block, or a pool teardown that
+raises first, used to strand the segment.  This module keeps a registry
+of every segment the library owns and unlinks the survivors from an
+``atexit`` hook, so any interpreter exit short of SIGKILL reclaims them.
+(The segments of a SIGKILL'd coordinator are reclaimed by the
+``multiprocessing`` resource tracker, which survives its parent.)
+
+Only the *owner* (creator) of a segment registers it; workers that
+merely attach never unlink.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from multiprocessing import shared_memory
+
+_LOCK = threading.Lock()
+_OWNED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def create_tracked_segment(size: int) -> shared_memory.SharedMemory:
+    """Create an owned segment registered for at-exit reclamation."""
+    shm = shared_memory.SharedMemory(create=True, size=max(1, int(size)))
+    track_segment(shm)
+    return shm
+
+
+def track_segment(shm: shared_memory.SharedMemory) -> None:
+    """Register an owned segment with the at-exit reclaimer."""
+    with _LOCK:
+        _OWNED[shm.name] = shm
+
+
+def untrack_segment(shm: shared_memory.SharedMemory) -> None:
+    """Forget a segment (after the owner released it itself)."""
+    with _LOCK:
+        _OWNED.pop(shm.name, None)
+
+
+def release_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close + unlink an owned segment; idempotent and never raises."""
+    untrack_segment(shm)
+    for step in (shm.close, shm.unlink):
+        try:
+            step()
+        except (FileNotFoundError, OSError, BufferError):
+            pass
+
+
+def owned_segments() -> list[str]:
+    """Names of segments currently registered (diagnostic)."""
+    with _LOCK:
+        return sorted(_OWNED)
+
+
+@atexit.register
+def _reclaim_at_exit() -> None:
+    """Unlink every still-registered segment at interpreter exit."""
+    with _LOCK:
+        leaked = list(_OWNED.values())
+        _OWNED.clear()
+    for shm in leaked:
+        for step in (shm.close, shm.unlink):
+            try:
+                step()
+            except Exception:
+                pass

@@ -1,0 +1,539 @@
+"""Supervised process backend: crash recovery, checkpoints, chaos.
+
+Everything here leans on one algebraic fact: every SuperFW update is a
+min-fold, so re-running a killed (even half-finished) task is always
+safe — which is what lets the tests demand *bit-identical* equality with
+the undisturbed sequential solve, not mere numerical closeness.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+
+import numpy as np
+import pytest
+from conftest import GRAPH_BUILDERS
+
+from repro.core.parallel_superfw import SharedPlanPool, parallel_superfw
+from repro.core.superfw import superfw
+from repro.plan import analyze
+from repro.resilience.budget import SolveBudget
+from repro.resilience.checkpoint import CheckpointManager, solve_key, weights_sha
+from repro.resilience.errors import (
+    BudgetExceededError,
+    SolveTimeoutError,
+    WorkerCrashError,
+)
+from repro.resilience.faults import FaultSpec, inject_faults
+from repro.resilience.supervisor import (
+    EPOCH_STRIDE,
+    HeartbeatBoard,
+    Supervisor,
+    SupervisorPolicy,
+    coerce_policy,
+)
+
+
+# ---------------------------------------------------------------------------
+# Policy coercion
+# ---------------------------------------------------------------------------
+
+
+def test_coerce_policy_variants():
+    assert coerce_policy(None) is None
+    assert coerce_policy(False) is None
+    assert coerce_policy(True) == SupervisorPolicy()
+    assert coerce_policy(2.5).task_timeout == 2.5
+    assert coerce_policy({"max_pool_rebuilds": 7}).max_pool_rebuilds == 7
+    policy = SupervisorPolicy(task_timeout=1.0)
+    assert coerce_policy(policy) is policy
+    with pytest.raises(TypeError, match="supervise"):
+        coerce_policy("yes please")
+
+
+def test_policy_rejects_unknown_escalation():
+    with pytest.raises(ValueError, match="escalation"):
+        SupervisorPolicy(escalate=("thread", "gpu"))
+
+
+# ---------------------------------------------------------------------------
+# HeartbeatBoard
+# ---------------------------------------------------------------------------
+
+
+def test_heartbeat_board_claim_beat_stale():
+    board = HeartbeatBoard.create(2)
+    try:
+        lock = threading.Lock()
+        slot_a = board.claim(lock)
+        slot_b = board.claim(lock)
+        assert {slot_a, slot_b} == {0, 1}
+        assert board.pids() == [os.getpid()] * 2
+        with pytest.raises(RuntimeError, match="full"):
+            board.claim(lock)
+        # Fresh beats are not stale; backdated ones are.
+        assert board.stale(timeout=10.0) == []
+        board.rows[slot_a, 1] -= 60.0
+        assert board.stale(timeout=10.0) == [os.getpid()]
+        board.beat(slot_a)
+        assert board.stale(timeout=10.0) == []
+        board.reset()
+        assert board.pids() == []
+    finally:
+        board.release()
+
+
+def test_heartbeat_board_attach_sees_owner_rows():
+    board = HeartbeatBoard.create(1)
+    try:
+        board.claim(threading.Lock())
+        other = HeartbeatBoard.attach(board.name, 1)
+        assert other.pids() == [os.getpid()]
+        other.close()  # worker-side detach must not unlink
+        assert board.pids() == [os.getpid()]
+    finally:
+        board.release()
+
+
+# ---------------------------------------------------------------------------
+# Supervisor driven against a fake pool (no processes: pure state machine)
+# ---------------------------------------------------------------------------
+
+
+class FakePool:
+    """Minimal Supervisor substrate: futures resolve only after a rebuild."""
+
+    def __init__(self, stale_pids=()):
+        self.rebuilds = 0
+        self.terminated = False
+        self._stale = list(stale_pids)
+
+    def stale_workers(self, timeout):
+        stale, self._stale = self._stale, []
+        return stale
+
+    def rebuild(self):
+        self.rebuilds += 1
+
+    def terminate(self):
+        self.terminated = True
+
+
+def _fast_policy(**kw):
+    kw.setdefault("poll_interval", 0.01)
+    kw.setdefault("heartbeat_timeout", 0.05)
+    return SupervisorPolicy(**kw)
+
+
+def test_supervisor_recovers_missed_heartbeats_with_epoch_bump():
+    pool = FakePool(stale_pids=[4321])
+    recovery = {}
+    sup = Supervisor(_fast_policy(), pool, recovery=recovery)
+    seen_bases = []
+
+    def submit(s, attempt_base):
+        seen_bases.append(attempt_base)
+        future = Future()
+        if pool.rebuilds > 0:  # only the post-rebuild epoch completes
+            future.set_result(s * 10)
+        return future
+
+    results = {}
+    failures = sup.run_group(
+        [1, 2], submit=submit, on_result=lambda s, v: results.__setitem__(s, v)
+    )
+    assert failures == []
+    assert results == {1: 10, 2: 20}
+    assert pool.rebuilds == 1
+    assert recovery["heartbeat_missed"] == 1
+    assert recovery["pool_rebuilds"] == 1
+    assert recovery["recoveries"][0]["cause"] == "heartbeat"
+    # Redispatched tasks must draw fresh fault-injection attempt numbers.
+    assert seen_bases == [0, 0, EPOCH_STRIDE, EPOCH_STRIDE]
+
+
+def test_supervisor_timeout_exhaustion_raises_typed_and_terminates():
+    pool = FakePool()
+    sup = Supervisor(
+        _fast_policy(task_timeout=0.05, max_pool_rebuilds=1), pool, recovery={}
+    )
+
+    def submit(s, attempt_base):
+        return Future()  # never completes: a permanently hung worker
+
+    with pytest.raises(SolveTimeoutError) as info:
+        sup.run_group([3, 4], submit=submit, on_result=lambda s, v: None)
+    assert info.value.cause == "timeout"
+    assert info.value.rebuilds == 1
+    assert info.value.pending == [3, 4]
+    assert pool.rebuilds == 1  # the budget was spent before giving up
+    assert pool.terminated  # stragglers must not outlive the group
+
+
+def test_worker_crash_errors_survive_pickling():
+    for exc in (
+        WorkerCrashError("boom", cause="heartbeat", rebuilds=2, pending=[1, 5]),
+        SolveTimeoutError("slow", rebuilds=1, pending=[9]),
+    ):
+        clone = pickle.loads(pickle.dumps(exc))
+        assert type(clone) is type(exc)
+        assert clone.cause == exc.cause
+        assert clone.rebuilds == exc.rebuilds
+        assert clone.pending == exc.pending
+        assert str(clone) == str(exc)
+
+
+# ---------------------------------------------------------------------------
+# Chaos harness: kills and detaches recovered bit-identically
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("site", ["worker_kill", "shm_detach"])
+def test_chaos_recovery_is_bit_identical(seed, site):
+    g = GRAPH_BUILDERS["grid"]()
+    expected = superfw(g).dist
+    spec = FaultSpec(seed=seed, **{f"{site}_rate": 0.08})
+    with inject_faults(spec):
+        r = parallel_superfw(g, backend="process", num_workers=2)
+    assert np.array_equal(expected, r.dist)
+    assert r.meta["supervised"]
+    # The sweep's job is coverage, not guaranteed carnage: some seeds
+    # never draw a fault, and that run must simply look undisturbed.
+    recovered = r.meta["recovery"].get("pool_rebuilds", 0)
+    assert recovered <= SupervisorPolicy().max_pool_rebuilds
+
+
+def test_chaos_hang_detected_by_task_timeout(mesh_graph):
+    expected = superfw(mesh_graph).dist
+    spec = FaultSpec(seed=0, worker_hang_rate=0.05, worker_hang_seconds=30.0)
+    with inject_faults(spec):
+        r = parallel_superfw(
+            mesh_graph,
+            backend="process",
+            num_workers=2,
+            supervise={"task_timeout": 0.5, "poll_interval": 0.02},
+        )
+    assert np.array_equal(expected, r.dist)
+    # Chaos draws are stateless, so whether any first-attempt hang fires
+    # is predictable from the spec alone — the injector's own stats live
+    # in the worker process and are invisible here.
+    from repro.resilience.faults import _draw
+
+    ns = r.meta["plan"].structure.ns
+    predicted = any(
+        _draw(0, "worker-hang", s, 1) < spec.worker_hang_rate
+        for s in range(ns)
+    )
+    if predicted:
+        causes = {
+            rec["cause"] for rec in r.meta["recovery"].get("recoveries", [])
+        }
+        assert "timeout" in causes
+
+
+def test_certain_kills_escalate_to_thread_bit_identically(grid_graph):
+    expected = superfw(grid_graph).dist
+    # Rate 1.0 defeats every redispatch epoch, so the rebuild budget is
+    # guaranteed to exhaust and the solve must finish on the escalation
+    # chain — whose in-process backends the origin_pid guard exempts
+    # from chaos.
+    with inject_faults(FaultSpec(seed=0, worker_kill_rate=1.0)):
+        r = parallel_superfw(
+            grid_graph,
+            backend="process",
+            num_workers=2,
+            supervise={"max_pool_rebuilds": 0},
+        )
+    assert np.array_equal(expected, r.dist)
+    assert r.meta["recovery"]["escalations"] == ["thread"]
+
+
+def test_exhaustion_without_escalation_raises_worker_crash(grid_graph):
+    with inject_faults(FaultSpec(seed=0, worker_kill_rate=1.0)):
+        with pytest.raises(WorkerCrashError) as info:
+            parallel_superfw(
+                grid_graph,
+                backend="process",
+                num_workers=2,
+                supervise={"max_pool_rebuilds": 0, "escalate": ()},
+            )
+    assert info.value.cause == "crash"
+    assert info.value.pending  # the unfinished level rides on the error
+
+
+def test_unsupervised_crash_is_typed_not_raw(grid_graph):
+    with inject_faults(FaultSpec(seed=0, worker_kill_rate=1.0)):
+        with pytest.raises(WorkerCrashError, match="supervise=False"):
+            parallel_superfw(
+                grid_graph, backend="process", num_workers=2, supervise=False
+            )
+
+
+def test_session_pool_survives_exhausted_solve(grid_graph):
+    plan = analyze(grid_graph)
+    expected = superfw(grid_graph).dist
+    # Pool built *inside* the fault context: workers capture the injector
+    # at executor build time, so a pool built outside would never crash.
+    with inject_faults(FaultSpec(seed=0, worker_kill_rate=1.0)):
+        pool = SharedPlanPool(plan, num_workers=2)
+    with pool:
+        with inject_faults(FaultSpec(seed=0, worker_kill_rate=1.0)):
+            with pytest.raises(WorkerCrashError):
+                parallel_superfw(
+                    grid_graph,
+                    backend="process",
+                    pool=pool,
+                    supervise={"max_pool_rebuilds": 0, "escalate": ()},
+                )
+        # ensure_alive() must transparently rebuild the terminated pool —
+        # and the rebuild (now outside the fault context) comes up clean.
+        r = parallel_superfw(grid_graph, backend="process", pool=pool)
+        assert np.array_equal(expected, r.dist)
+
+
+# ---------------------------------------------------------------------------
+# Worker-side cooperative wall budget
+# ---------------------------------------------------------------------------
+
+
+def test_wall_budget_aborts_inside_worker_mid_level(grid_graph):
+    plan = analyze(grid_graph, leaf_size=8)
+    # Warm pool (fork cost must not eat the wall budget before any task
+    # runs, or the abort would flakily move to the coordinator side),
+    # built inside the fault context so the workers inherit the delays.
+    spec = FaultSpec(seed=0, task_delay_rate=1.0, delay_seconds=0.7)
+    with inject_faults(spec):
+        with SharedPlanPool(plan, num_workers=2) as pool:
+            with pytest.raises(BudgetExceededError) as info:
+                parallel_superfw(
+                    grid_graph,
+                    backend="process",
+                    pool=pool,
+                    budget=SolveBudget(wall_seconds=2.0),
+                )
+    assert info.value.limit == "wall_seconds"
+    assert info.value.progress["where"].startswith("worker:")
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint/resume
+# ---------------------------------------------------------------------------
+
+
+def test_checkpoint_manager_roundtrip(tmp_path):
+    mgr = CheckpointManager(directory=tmp_path)
+    key = solve_key("plan", "abc", "levels")
+    matrix = np.arange(9, dtype=np.float64).reshape(3, 3)
+    meta = {"plan_id": "plan", "weights_sha": "abc"}
+    path = mgr.path_for(key)
+    mgr.write(key, matrix, groups_done=2, meta=meta)
+    assert path.exists()
+    loaded = mgr.load(key, expect=meta)
+    assert loaded is not None
+    got, groups_done = loaded
+    assert np.array_equal(got, matrix)
+    assert groups_done == 2
+    # Any expectation mismatch must miss, not raise.
+    assert mgr.load(key, expect={**meta, "plan_id": "other"}) is None
+    # Corruption must miss too.
+    path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    assert mgr.load(key, expect=meta) is None
+    mgr.clear(key)
+    assert not path.exists()
+    mgr.clear(key)  # idempotent
+
+
+def test_checkpoint_manager_coerce_and_cadence(tmp_path):
+    assert CheckpointManager.coerce(None) is None
+    assert CheckpointManager.coerce(False) is None
+    mgr = CheckpointManager.coerce(str(tmp_path))
+    assert mgr.directory == Path(str(tmp_path))
+    assert CheckpointManager.coerce(mgr) is mgr
+    every3 = CheckpointManager.coerce({"directory": tmp_path, "every": 3})
+    assert [k for k in range(1, 7) if every3.due(k)] == [3, 6]
+    with pytest.raises(TypeError, match="checkpoint"):
+        CheckpointManager.coerce(42)
+
+
+def test_weights_sha_distinguishes_instances(grid_graph, mesh_graph):
+    a = grid_graph.to_dense_dist()
+    b = mesh_graph.to_dense_dist()
+    assert weights_sha(a) == weights_sha(a.copy())
+    assert weights_sha(a) != weights_sha(b)
+    assert solve_key("p", weights_sha(a), "levels") != solve_key(
+        "p", weights_sha(a), "snodes"
+    )
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_budget_abort_then_resume_is_bit_identical(backend, mesh_graph, tmp_path):
+    scratch = parallel_superfw(mesh_graph, backend=backend, num_workers=2)
+    total_ops = scratch.ops.total
+    with pytest.raises(BudgetExceededError):
+        parallel_superfw(
+            mesh_graph,
+            backend=backend,
+            num_workers=2,
+            budget=SolveBudget(max_ops=total_ops * 0.3),
+            checkpoint=tmp_path,
+        )
+    snapshots = list(tmp_path.glob("superfw-*.npz"))
+    assert len(snapshots) == 1  # the abort left its last barrier behind
+    resumed = parallel_superfw(
+        mesh_graph,
+        backend=backend,
+        num_workers=2,
+        checkpoint=tmp_path,
+        resume=True,
+    )
+    assert resumed.meta["recovery"]["resumed_from_group"] >= 1
+    assert np.array_equal(scratch.dist, resumed.dist)
+    # Success must clear the snapshot (keep=False default)...
+    assert list(tmp_path.glob("superfw-*.npz")) == []
+    # ...so a further resume silently solves from scratch.
+    again = parallel_superfw(
+        mesh_graph, backend=backend, num_workers=2,
+        checkpoint=tmp_path, resume=True,
+    )
+    assert "resumed_from_group" not in again.meta["recovery"]
+    assert np.array_equal(scratch.dist, again.dist)
+
+
+def test_resume_ignores_snapshot_of_other_weights(mesh_graph, tmp_path):
+    scratch = parallel_superfw(mesh_graph, num_workers=2)
+    with pytest.raises(BudgetExceededError):
+        parallel_superfw(
+            mesh_graph,
+            num_workers=2,
+            budget=SolveBudget(max_ops=scratch.ops.total * 0.3),
+            checkpoint=tmp_path,
+        )
+    reweighted = mesh_graph.with_weights(mesh_graph.weights * 2.0)
+    r = parallel_superfw(
+        reweighted, num_workers=2, checkpoint=tmp_path, resume=True
+    )
+    assert "resumed_from_group" not in r.meta["recovery"]
+    assert np.array_equal(parallel_superfw(reweighted, num_workers=2).dist, r.dist)
+
+
+def test_resume_requires_checkpoint(grid_graph):
+    with pytest.raises(ValueError, match="resume"):
+        parallel_superfw(grid_graph, resume=True)
+
+
+_KILLED_COORDINATOR_SCRIPT = """
+import sys
+from repro.core.parallel_superfw import parallel_superfw
+from repro.graphs import generators
+from repro.resilience.faults import FaultSpec, inject_faults
+
+g = generators.grid2d(10, 10, seed=0)
+# Injected per-task sleeps stretch the solve so the parent can observe a
+# barrier checkpoint land and SIGKILL us mid-way.
+with inject_faults(FaultSpec(seed=0, task_delay_rate=1.0, delay_seconds=0.1)):
+    parallel_superfw(
+        g, backend=sys.argv[2], num_workers=2,
+        checkpoint={"directory": sys.argv[1], "keep": True},
+    )
+"""
+
+
+def test_coordinator_sigkill_then_resume_matches_scratch(grid_graph, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    child = subprocess.Popen(
+        [sys.executable, "-c", _KILLED_COORDINATOR_SCRIPT,
+         str(tmp_path), "process"],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 120.0
+        while not list(tmp_path.glob("superfw-*.npz")):
+            if child.poll() is not None or time.monotonic() > deadline:
+                pytest.fail("child finished or stalled before any checkpoint")
+            time.sleep(0.005)
+        os.kill(child.pid, signal.SIGKILL)
+    finally:
+        child.wait(timeout=30)
+    assert child.returncode == -signal.SIGKILL
+    assert list(tmp_path.glob("superfw-*.npz"))
+    resumed = parallel_superfw(
+        grid_graph,
+        backend="process",
+        num_workers=2,
+        checkpoint={"directory": tmp_path, "keep": True},
+        resume=True,
+    )
+    assert resumed.meta["recovery"]["resumed_from_group"] >= 1
+    assert np.array_equal(superfw(grid_graph).dist, resumed.dist)
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+
+def test_cli_parse_chaos():
+    from repro.cli import _parse_chaos
+
+    assert _parse_chaos("worker_kill:0.05") == {"worker_kill_rate": 0.05}
+    assert _parse_chaos("worker_hang:0.1:5,shm_detach:0.02") == {
+        "worker_hang_rate": 0.1,
+        "worker_hang_seconds": 5.0,
+        "shm_detach_rate": 0.02,
+    }
+    with pytest.raises(SystemExit):
+        _parse_chaos("coordinator_kill:0.5")
+    with pytest.raises(SystemExit):
+        _parse_chaos("worker_kill:lots")
+
+
+def test_cli_unsupervised_worker_crash_exits_5(capsys):
+    from repro.cli import EXIT_WORKER_CRASH, main
+
+    code = main([
+        "solve", "--generate", "grid2d:8",
+        "--method", "parallel-superfw", "--backend", "process",
+        "--workers", "2", "--no-supervise",
+        "--chaos", "worker_kill:1.0", "--fault-seed", "0",
+    ])
+    assert code == EXIT_WORKER_CRASH == 5
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_supervised_chaos_solve_succeeds(capsys):
+    from repro.cli import main
+
+    code = main([
+        "solve", "--generate", "grid2d:8",
+        "--method", "parallel-superfw", "--backend", "process",
+        "--workers", "2",
+        "--chaos", "worker_kill:1.0", "--fault-seed", "0",
+    ])
+    assert code == 0
+    assert "method: parallel-superfw" in capsys.readouterr().out
+
+
+def test_cli_checkpoint_resume_flags(tmp_path, capsys):
+    from repro.cli import main
+
+    ckpt = tmp_path / "ckpts"
+    code = main([
+        "solve", "--generate", "grid2d:8",
+        "--method", "parallel-superfw",
+        "--checkpoint", str(ckpt), "--resume",
+        "--task-timeout", "30", "--max-pool-rebuilds", "3",
+    ])
+    assert code == 0
+    capsys.readouterr()
