@@ -3,7 +3,7 @@
 PYTHON ?= python
 SIZE   ?= 0.5
 
-.PHONY: install test faults chaos bench bench-engine bench-plan bench-obs bench-resilience trace docs-check experiments examples clean all
+.PHONY: install test faults chaos bench bench-engine bench-plan bench-obs bench-resilience bench-dynamic trace docs-check experiments examples clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -42,6 +42,11 @@ bench-obs:
 # Supervision overhead + recovery/checkpoint timings -> BENCH_resilience.json.
 bench-resilience:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_resilience.py --check
+
+# Batched epoch commits vs per-edge updates, router sanity, and the
+# chaos degradation path -> BENCH_dynamic.json.
+bench-dynamic:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_dynamic.py --check
 
 # One traced process-backend solve -> trace.json (open in ui.perfetto.dev).
 trace:

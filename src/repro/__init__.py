@@ -46,7 +46,17 @@ from repro.obs import (
     write_csv,
 )
 from repro.ordering.nested_dissection import nested_dissection
-from repro.plan import APSPSession, Plan, PlanCache, analyze, structure_hash
+from repro.plan import (
+    APSPSession,
+    CommitInfo,
+    Epoch,
+    Plan,
+    PlanCache,
+    UpdateBuffer,
+    UpdateRouter,
+    analyze,
+    structure_hash,
+)
 from repro.resilience import (
     BudgetExceededError,
     CheckpointManager,
@@ -59,6 +69,7 @@ from repro.resilience import (
     RetryPolicy,
     SolveBudget,
     SolveTimeoutError,
+    StaleEpochWarning,
     SupervisorPolicy,
     TaskFailedError,
     WorkerCrashError,
@@ -72,7 +83,9 @@ __all__ = [
     "APSPSession",
     "BudgetExceededError",
     "CheckpointManager",
+    "CommitInfo",
     "DiGraph",
+    "Epoch",
     "FallbackExhaustedError",
     "FaultSpec",
     "Graph",
@@ -88,11 +101,14 @@ __all__ = [
     "RetryPolicy",
     "SolveBudget",
     "SolveTimeoutError",
+    "StaleEpochWarning",
     "SuperFWPlan",
     "SupervisorPolicy",
     "TaskFailedError",
     "Tracer",
     "TreewidthAPSP",
+    "UpdateBuffer",
+    "UpdateRouter",
     "WorkerCrashError",
     "analyze",
     "apsp",

@@ -253,12 +253,21 @@ def apsp(
                 f"supported: {sorted(_PLAN_AWARE)}"
             )
         options["plan"] = plan
+    from repro.resilience.checkpoint import weights_sha
+
     tracer, trace_path = coerce_tracer(trace)
     if not tracer.enabled:
-        return backend(graph, **options)
+        result = backend(graph, **options)
+        # Tag every result with the digest of the weights it was solved
+        # at — the identity the epoch-based session write path and the
+        # checkpoint layer key on (backends that already computed it
+        # keep their own value).
+        result.meta.setdefault("weights_digest", weights_sha(graph.weights))
+        return result
     with use_tracer(tracer):
         with tracer.span("apsp", method=method, n=graph.n):
             result = backend(graph, **options)
+    result.meta.setdefault("weights_digest", weights_sha(graph.weights))
     # Refresh the snapshot after the outer span closed so it covers the
     # whole call (a backend-written meta["obs"] would miss plan spans
     # recorded before it ran, and the apsp span itself).

@@ -11,6 +11,14 @@ pair by the best path routed through the new arc:
 — an ``O(n²)`` rank-1 outer product instead of an ``O(n² |S|)`` re-solve.
 Weight *increases* can invalidate arbitrarily many pairs and fall back to
 a recompute (the classical asymmetry of dynamic shortest paths).
+
+:func:`apply_batch_improvements` generalizes the fold to rank ``k``: a
+whole tick's worth of improved arcs is folded in one pass through the
+*terminal closure* — close the small ``p × p`` subproblem over the
+arcs' endpoints first, then apply one ``(n × p) ⊗ (p × p) ⊗ (p × n)``
+min-plus sandwich.  Because every updated shortest path decomposes at
+its terminal visits into old-distance segments, a single pass reaches
+the exact fixed point; no verification sweep is needed.
 """
 
 from __future__ import annotations
@@ -52,6 +60,137 @@ def apply_edge_improvement(
     return improved
 
 
+def apply_batch_improvements(
+    dist: np.ndarray,
+    updates,
+    *,
+    directed: bool = False,
+    atol: float = 1e-12,
+    engine=None,
+) -> int:
+    """Fold a batch of improved arcs into ``dist`` in one rank-k pass.
+
+    ``updates`` is a sequence of ``(u, v, w)`` arc reweights; every ``w``
+    must be ≤ the arc's previous weight (new arcs count as decreases from
+    ``inf``), and the batch must not create a negative cycle.  ``dist``
+    must be a valid APSP matrix of the graph *before* the batch; it is
+    mutated in place and the count of pairs improved by more than
+    ``atol`` is returned.
+
+    The exact fixed point is reached in a single pass via the terminal
+    closure: with ``P`` the set of arc endpoints (*terminals*), seed
+    ``T = min(dist[P, P], W_new)`` and close it with a dense ``p × p``
+    Floyd-Warshall — any new shortest path splits at its first/last
+    terminal visits into old-``dist`` segments and terminal-to-terminal
+    hops, so ``T`` holds the *new* terminal distances exactly.  The
+    rank-k sandwich ``dist ⊕ (dist[:, P] ⊗ T) ⊗ dist[P, :]`` then
+    updates every pair at once; the two rectangular products route
+    through the :class:`~repro.semiring.engine.SemiringGemmEngine`.
+    """
+    n = dist.shape[0]
+    if dist.shape != (n, n):
+        raise ValueError("dist must be square")
+    arcs = np.asarray(list(updates), dtype=np.float64)
+    if arcs.size == 0:
+        return 0
+    if arcs.ndim != 2 or arcs.shape[1] != 3:
+        raise ValueError("updates must be (u, v, w) triples")
+    heads = arcs[:, 0].astype(np.int64)
+    tails = arcs[:, 1].astype(np.int64)
+    if np.any(heads == tails) or heads.min() < 0 or tails.min() < 0 or max(
+        heads.max(), tails.max()
+    ) >= n:
+        raise ValueError("invalid edge endpoints")
+    if not directed:
+        heads, tails = (
+            np.concatenate([heads, tails]),
+            np.concatenate([tails, heads]),
+        )
+        arcs = np.vstack([arcs, arcs])
+    terminals = np.unique(np.concatenate([heads, tails]))
+    index = {int(t): i for i, t in enumerate(terminals)}
+    # Seed the terminal subproblem with old distances, min the new arcs in.
+    closure = dist[np.ix_(terminals, terminals)].copy()
+    for a, b, w in zip(heads, tails, arcs[:, 2]):
+        ia, ib = index[int(a)], index[int(b)]
+        if w < closure[ia, ib]:
+            closure[ia, ib] = w
+    # Dense FW on p terminals: O(p³), exact new terminal distances.
+    for t in range(terminals.shape[0]):
+        np.minimum(
+            closure, closure[:, t : t + 1] + closure[t, :], out=closure
+        )
+    if engine is None:
+        from repro.semiring.engine import get_engine
+
+        engine = get_engine()
+    left = engine.gemm(dist[:, terminals], closure)
+    candidate = engine.gemm(left, dist[terminals, :])
+    improved = int(np.count_nonzero(candidate < dist - atol))
+    np.minimum(dist, candidate, out=dist)
+    return improved
+
+
+# ---------------------------------------------------------------------------
+# Synthetic reweight traffic (shared by the example, the CLI `update`
+# subcommand, and benchmarks/bench_dynamic.py).
+# ---------------------------------------------------------------------------
+
+#: Default weight quantum: dyadic weights (multiples of 2⁻¹⁰) make every
+#: min-plus path sum exactly representable in float64, so incremental
+#: folds and from-scratch re-solves agree *bit for bit* regardless of
+#: summation order.
+WEIGHT_QUANTUM = 2.0**-10
+
+
+def quantize_weights(graph: Graph | DiGraph, quantum: float = WEIGHT_QUANTUM):
+    """Snap a graph's weights onto the dyadic grid (for exactness tests)."""
+    w = np.maximum(np.round(graph.weights / quantum), 1.0) * quantum
+    return graph.with_weights(w)
+
+
+def reweight_stream(
+    graph: Graph | DiGraph,
+    *,
+    ticks: int,
+    per_tick: int,
+    p_increase: float = 0.3,
+    seed: int = 0,
+    quantum: float = WEIGHT_QUANTUM,
+):
+    """Yield ``ticks`` batches of ``(u, v, w)`` reweights against ``graph``.
+
+    Models live traffic: each tick touches ``per_tick`` random edges, a
+    ``p_increase`` fraction slowing down (weight × ~1.05–1.5) and the
+    rest speeding up (× ~0.5–0.95).  The stream tracks its own evolving
+    weight state so factors compound across ticks, and every emitted
+    weight is quantized to ``quantum`` so replays admit bit-identical
+    cross-checks.  The input graph is not modified.
+    """
+    rng = np.random.default_rng(seed)
+    edges = (
+        graph.arc_array() if isinstance(graph, DiGraph) else graph.edge_array()
+    )
+    current = {
+        (int(e[0]), int(e[1])): float(e[2]) for e in edges
+    }
+    keys = list(current)
+    for _ in range(ticks):
+        batch = []
+        picks = rng.choice(len(keys), size=min(per_tick, len(keys)),
+                           replace=False)
+        for i in picks:
+            u, v = keys[int(i)]
+            if rng.random() < p_increase:
+                factor = rng.uniform(1.05, 1.5)
+            else:
+                factor = rng.uniform(0.5, 0.95)
+            w = max(quantum, round(current[(u, v)] * factor / quantum) * quantum)
+            current[(u, v)] = w
+            batch.append((u, v, w))
+        yield batch
+
+
 class IncrementalAPSP:
     """Maintains an APSP matrix across edge updates.
 
@@ -62,19 +201,23 @@ class IncrementalAPSP:
     Parameters
     ----------
     graph:
-        Starting graph (undirected or directed).
+        Starting graph (undirected or directed).  The instance takes a
+        private copy of the weight array, so updates never mutate the
+        caller's graph.
     dist:
         Optional precomputed APSP matrix; solved with SuperFW otherwise.
     """
 
     def __init__(self, graph: Graph | DiGraph, dist: np.ndarray | None = None, *, seed: int = 0) -> None:
-        self.graph = graph
+        # Private weights: reweights mutate arc slots in place (O(1))
+        # instead of rebuilding the whole CSR object per update.
+        self.graph = graph.with_weights(graph.weights.copy())
         self.directed = isinstance(graph, DiGraph)
         self.seed = seed
         self.recomputes = 0
         self.fast_updates = 0
         if dist is None:
-            dist = self._solve(graph)
+            dist = self._solve(self.graph)
         elif dist.shape != (graph.n, graph.n):
             raise ValueError("dist shape does not match graph")
         else:
@@ -87,21 +230,28 @@ class IncrementalAPSP:
         self.recomputes += 1
         return superfw(graph, seed=self.seed).dist
 
-    def _current_weight(self, u: int, v: int) -> float:
-        neigh = self.graph.neighbors(u)
-        pos = np.flatnonzero(neigh == v)
-        return float(self.graph.neighbor_weights(u)[pos[0]]) if pos.size else np.inf
+    def _arc_slots(self, u: int, v: int) -> np.ndarray:
+        g = self.graph
+        lo, hi = int(g.indptr[u]), int(g.indptr[u + 1])
+        return lo + np.flatnonzero(g.indices[lo:hi] == v)
 
-    def _rebuild_graph(self, u: int, v: int, w: float):
+    def _current_weight(self, u: int, v: int) -> float:
+        slots = self._arc_slots(u, v)
+        return float(self.graph.weights[slots[0]]) if slots.size else np.inf
+
+    def _set_weight(self, u: int, v: int, w: float) -> None:
+        """Reweight existing arc slots in place — no CSR reconstruction."""
+        self.graph.weights[self._arc_slots(u, v)] = w
+        if not self.directed:
+            self.graph.weights[self._arc_slots(v, u)] = w
+
+    def _insert_edge(self, u: int, v: int, w: float):
+        """Splice a brand-new arc/edge in (the only structural rebuild)."""
         if self.directed:
-            arcs = self.graph.arc_array()
-            keep = ~((arcs[:, 0] == u) & (arcs[:, 1] == v))
-            arcs = np.vstack([arcs[keep], [u, v, w]])
+            arcs = np.vstack([self.graph.arc_array(), [u, v, w]])
             return DiGraph.from_edges(self.graph.n, arcs)
-        edges = self.graph.edge_array()
         a, b = min(u, v), max(u, v)
-        keep = ~((edges[:, 0] == a) & (edges[:, 1] == b))
-        edges = np.vstack([edges[keep], [a, b, w]])
+        edges = np.vstack([self.graph.edge_array(), [a, b, w]])
         return Graph.from_edges(self.graph.n, edges)
 
     def update_edge(self, u: int, v: int, w: float) -> int:
@@ -113,7 +263,10 @@ class IncrementalAPSP:
         if w < 0 and not self.directed:
             raise ValueError("negative undirected edges form negative 2-cycles")
         old = self._current_weight(u, v)
-        self.graph = self._rebuild_graph(u, v, w)
+        if np.isinf(old):
+            self.graph = self._insert_edge(u, v, w)
+        else:
+            self._set_weight(u, v, w)
         if w <= old:
             self.fast_updates += 1
             return apply_edge_improvement(

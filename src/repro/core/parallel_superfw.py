@@ -538,12 +538,17 @@ def parallel_superfw(
     start_group = 0
     ckpt_key = ckpt_meta = None
     if ckpt is not None:
+        # Keyed by the weight digest of the epoch being computed: the
+        # permuted input matrix is a pure function of (plan, arc
+        # weights), so a session commit's re-solve resumes exactly the
+        # epoch it was interrupted in and never a neighboring one.
         digest = weights_sha(dist)
         flavor = "levels" if etree_parallel else "snodes"
         ckpt_key = solve_key(plan.plan_id, digest, flavor)
         ckpt_meta = {
             "plan_id": plan.plan_id,
             "weights_sha": digest,
+            "epoch_weights": weights_sha(graph.weights),
             "flavor": flavor,
             "groups_total": len(groups),
             "n": int(dist.shape[0]),
@@ -627,6 +632,7 @@ def parallel_superfw(
             "plan": plan,
             "plan_id": plan.plan_id,
             "plan_reused": plan_reused,
+            "weights_digest": weights_sha(graph.weights),
             "pooled": pool is not None,
             "backend": backend,
             "num_threads": workers,

@@ -36,6 +36,7 @@ from repro.resilience.errors import (
     ReproError,
     TaskFailedError,
 )
+from repro.resilience.checkpoint import weights_sha as _weights_sha
 from repro.resilience.faults import task_site
 from repro.resilience.retry import DEFAULT_TASK_RETRY, RetryPolicy, call_with_retry
 from repro.semiring.base import MIN_PLUS, Semiring
@@ -304,6 +305,7 @@ def superfw(
             "plan": plan,
             "plan_id": plan.plan_id,
             "plan_reused": plan_reused,
+            "weights_digest": _weights_sha(graph.weights),
             "exact_panels": exact_panels,
             "recovery": {"task_retries": task_retries},
             "engine": eng.stats_dict(since=engine_before),

@@ -17,13 +17,19 @@ See :mod:`repro.plan.plan` for the split's rationale.  Public surface:
   (ordering, symbolic structure, supernode partition, etree schedule)
   and its serializable product.
 * :class:`PlanCache` — structure-keyed LRU with an optional disk tier.
-* :class:`APSPSession` — multi-solve front-end with incremental edge
-  updates and a persistent process pool.
+* :class:`APSPSession` — multi-solve front-end with the epoch-based
+  write path (batched edge updates, atomic epoch publication) and a
+  persistent process pool.
+* :class:`Epoch` / :class:`UpdateBuffer` / :class:`CommitInfo` — the
+  write path's published state, staging buffer, and commit record.
+* :class:`UpdateRouter` — the calibrated fold/re-solve/re-analyze cost
+  model behind :meth:`APSPSession.commit`.
 * :func:`structure_hash` / :func:`plan_cache_key` — the weight-excluded
   keying primitives.
 """
 
 from repro.plan.cache import PlanCache
+from repro.plan.epoch import CommitInfo, Epoch, UpdateBuffer
 from repro.plan.keys import plan_cache_key, structure_hash
 from repro.plan.plan import (
     PLAN_FORMAT_VERSION,
@@ -33,6 +39,7 @@ from repro.plan.plan import (
     ensure_plan,
     make_tiling,
 )
+from repro.plan.router import RouterDecision, UpdateRouter
 from repro.plan.session import SESSION_METHODS, APSPSession
 
 __all__ = [
@@ -45,6 +52,11 @@ __all__ = [
     "PlanCache",
     "APSPSession",
     "SESSION_METHODS",
+    "CommitInfo",
+    "Epoch",
+    "RouterDecision",
+    "UpdateBuffer",
+    "UpdateRouter",
     "plan_cache_key",
     "structure_hash",
 ]

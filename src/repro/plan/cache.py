@@ -47,6 +47,7 @@ class PlanCache:
         self.misses = 0
         self.disk_hits = 0
         self.evictions = 0
+        self.invalidations = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -120,6 +121,18 @@ class PlanCache:
         self.put(plan, key=key)
         return plan
 
+    def note_invalidation(self) -> None:
+        """Record that a consumer's plan went structurally stale.
+
+        Called by the session write path when an edge insert drops its
+        plan: the cached entry for the *old* structure stays valid (the
+        structure key still indexes it), but the counter — and the
+        ``plan_cache.invalidations`` metric — make re-analysis traffic
+        from structural churn visible next to hits and misses.
+        """
+        self.invalidations += 1
+        get_tracer().metric_inc("plan_cache.invalidations")
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._plans)
@@ -135,5 +148,6 @@ class PlanCache:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "directory": self.directory,
         }

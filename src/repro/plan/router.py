@@ -1,0 +1,247 @@
+"""Cost-model router: fold vs warm re-solve vs re-analysis, per commit.
+
+Every :meth:`~repro.plan.session.APSPSession.commit` has three ways to
+reach the next epoch:
+
+* **fold** — the rank-k terminal-closure fold
+  (:func:`repro.core.incremental.apply_batch_improvements`): exact only
+  when every effective update is a decrease (inserts count — they
+  decrease from ``inf``), and cheap only while the terminal set stays
+  small;
+* **resolve** — a warm re-solve on the cached plan (handles increases;
+  requires an unchanged structure);
+* **reanalyze** — re-analysis plus a solve (only an insert can force
+  this, because only an insert changes the pattern).
+
+The router prices the legal candidates with a calibrated cost model and
+picks the cheapest.  Solve cost comes from the plan's own fill rows —
+the per-supernode ``2c(c² + 2cr + 2r²)`` semiring-op law the paper's
+work analysis derives, with supernode width ``c`` and fill-row count
+``r`` — and fold cost from the rank-k shape ``2(p³ + np² + pn²)``.
+Ops convert to seconds through per-path rates seeded from the
+:class:`~repro.semiring.engine.SemiringGemmEngine` AutoTuner counters
+(measured min-plus throughput) and then EWMA-calibrated from each
+commit's observed cost, so predictions track the machine the session is
+actually running on.  Decisions and predicted/actual costs land in
+``APSPResult.meta["router"]`` and the ``router.*`` obs metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.obs import get_tracer
+
+#: Fallback min-plus throughput (scalar semiring ops / second) before
+#: any engine counters or observed commits exist to calibrate against.
+DEFAULT_OPS_PER_SECOND = 2.0e8
+
+#: EWMA smoothing for observed rates (higher = adapt faster).
+EWMA_ALPHA = 0.5
+
+#: Fixed dispatch cost charged per supernode of a warm re-solve.  On
+#: structures with tiny supernodes (planar separators) the sweep's
+#: per-task Python overhead dominates its raw op count, so pricing a
+#: solve by ops alone would make it look as cheap as a rank-1 fold.
+SNODE_OVERHEAD_SECONDS = 5e-5
+
+#: Fixed cost of one rank-k fold (terminal gather + three GEMM calls).
+FOLD_OVERHEAD_SECONDS = 2e-4
+
+
+@dataclass
+class RouterDecision:
+    """One routing choice plus the forecasts it was based on."""
+
+    action: str
+    reason: str
+    k: int
+    terminals: int
+    predicted_ops: dict[str, float] = field(default_factory=dict)
+    predicted_seconds: dict[str, float] = field(default_factory=dict)
+
+    def record(self) -> dict[str, Any]:
+        """JSON-friendly form for ``APSPResult.meta["router"]``."""
+        return {
+            "decision": self.action,
+            "reason": self.reason,
+            "k": self.k,
+            "terminals": self.terminals,
+            "predicted_ops": {
+                k: float(v) for k, v in self.predicted_ops.items()
+            },
+            "predicted_seconds": {
+                k: round(float(v), 6) for k, v in self.predicted_seconds.items()
+            },
+        }
+
+
+def solve_ops_estimate(plan) -> float:
+    """Semiring-op estimate for one warm solve on ``plan``.
+
+    Sums the supernodal work law over the plan's fill rows: eliminating
+    a supernode of width ``c`` with ``r`` fill rows costs ``~2c³`` for
+    the diagonal closure, ``2·2c²r`` for the two panels, and ``2cr²``
+    for the trailing outer product.
+    """
+    widths = np.array(
+        [plan.structure.snode_size(s) for s in range(plan.structure.ns)],
+        dtype=np.float64,
+    )
+    rows = np.array(
+        [r.shape[0] for r in plan.snode_rows], dtype=np.float64
+    )
+    return float(
+        np.sum(2.0 * widths**3 + 4.0 * widths**2 * rows
+               + 2.0 * widths * rows**2)
+    )
+
+
+def fold_ops_estimate(n: int, p: int) -> float:
+    """Semiring-op estimate for a rank-k fold with ``p`` terminals."""
+    # p³ closure + (n×p)·(p×p) + (n×p)·(p×n) products + the n² compare.
+    return 2.0 * (p**3 + n * p * p + p * n * n) + n * n
+
+
+class UpdateRouter:
+    """Prices commit strategies and learns the machine's actual rates."""
+
+    def __init__(self, plan=None, *, engine=None) -> None:
+        self._rates: dict[str, float] = {}
+        self.decisions: dict[str, int] = {}
+        self._solve_ops: float | None = None
+        self._snodes = 0
+        self._analyze_seconds = 0.0
+        if plan is not None:
+            self.bind_plan(plan)
+        if engine is not None:
+            self.seed_from_engine(engine)
+
+    # -- calibration ---------------------------------------------------
+    def bind_plan(self, plan) -> None:
+        """(Re)fit the solve estimate to a plan's fill rows."""
+        self._solve_ops = solve_ops_estimate(plan)
+        self._snodes = int(plan.structure.ns)
+        measured = plan.preprocessing_seconds()
+        if measured > 0:
+            self._analyze_seconds = measured
+
+    def seed_from_engine(self, engine) -> None:
+        """Seed the op→seconds rates from engine AutoTuner counters."""
+        try:
+            stats = engine.stats_dict()
+        except AttributeError:
+            return
+        ops = sum(v["ops"] for v in stats.get("strategies", {}).values())
+        secs = sum(v["seconds"] for v in stats.get("strategies", {}).values())
+        if ops > 0 and secs > 0:
+            rate = ops / secs
+            self._rates.setdefault("fold", rate)
+            self._rates.setdefault("resolve", rate)
+
+    def rate(self, action: str) -> float:
+        """Current ops/second estimate for one execution path."""
+        return self._rates.get(action, DEFAULT_OPS_PER_SECOND)
+
+    def observe(self, action: str, ops: float, seconds: float) -> None:
+        """Fold a measured commit back into the rate for its path."""
+        if ops <= 0 or seconds <= 0:
+            return
+        key = "fold" if action == "fold" else "resolve"
+        observed = ops / seconds
+        prior = self._rates.get(key)
+        self._rates[key] = (
+            observed if prior is None
+            else EWMA_ALPHA * observed + (1.0 - EWMA_ALPHA) * prior
+        )
+
+    # -- decisions -----------------------------------------------------
+    def decide(
+        self,
+        *,
+        n: int,
+        k: int,
+        terminals: int,
+        increases: int,
+        inserts: int,
+        have_epoch: bool,
+        have_plan: bool,
+    ) -> RouterDecision:
+        """Choose fold / resolve / reanalyze for one resolved batch."""
+        ops = {
+            "fold": fold_ops_estimate(n, terminals),
+            "resolve": self._solve_ops if self._solve_ops else 2.0 * n**3,
+        }
+        secs = {
+            "fold": ops["fold"] / self.rate("fold") + FOLD_OVERHEAD_SECONDS,
+            "resolve": ops["resolve"] / self.rate("resolve")
+            + self._snodes * SNODE_OVERHEAD_SECONDS,
+        }
+        if inserts:
+            # Only an insert changes the pattern: re-analysis pays the
+            # analyze phase again on top of the solve.
+            ops["reanalyze"] = ops["resolve"]
+            secs["reanalyze"] = secs["resolve"] + self._analyze_seconds
+        fold_legal = have_epoch and increases == 0
+        if not fold_legal:
+            if inserts:
+                action, reason = "reanalyze", (
+                    "insert changes the pattern and the batch cannot fold"
+                    if increases else "no epoch to fold into"
+                )
+            else:
+                action, reason = "resolve", (
+                    "weight increases invalidate folded paths"
+                    if increases else "no epoch to fold into"
+                )
+        elif inserts:
+            if secs["fold"] <= secs["reanalyze"]:
+                action, reason = "fold", (
+                    "insert folds exactly (decrease from inf); "
+                    "plan re-analyzed lazily"
+                )
+            else:
+                action, reason = "reanalyze", (
+                    "large insert batch: re-analysis beats a "
+                    f"{terminals}-terminal fold"
+                )
+        elif not have_plan:
+            # Structure already dirty from an earlier fold-with-insert:
+            # folding again stays exact and defers the re-analysis.
+            if secs["fold"] <= secs["resolve"] + self._analyze_seconds:
+                action, reason = "fold", "plan already invalidated; fold defers re-analysis"
+            else:
+                action, reason = "resolve", "fold too wide; re-analyze now"
+        elif secs["fold"] <= secs["resolve"]:
+            action, reason = "fold", (
+                f"{terminals} terminals ≪ n={n}: rank-k fold beats a warm solve"
+            )
+        else:
+            action, reason = "resolve", (
+                f"{terminals}-terminal fold costs more than a warm solve"
+            )
+        self.decisions[action] = self.decisions.get(action, 0) + 1
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.metric_inc(f"router.decision.{action}")
+            tracer.metrics.observe("router.predicted_s", secs.get(action, 0.0))
+        return RouterDecision(
+            action=action,
+            reason=reason,
+            k=k,
+            terminals=terminals,
+            predicted_ops=ops,
+            predicted_seconds=secs,
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """Decision counts and current calibrated rates."""
+        return {
+            "decisions": dict(self.decisions),
+            "rates": {k: round(v, 1) for k, v in self._rates.items()},
+            "solve_ops": self._solve_ops,
+            "analyze_seconds": round(self._analyze_seconds, 6),
+        }

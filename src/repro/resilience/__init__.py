@@ -36,6 +36,7 @@ from repro.resilience.errors import (
     NegativeCycleError,
     ReproError,
     SolveTimeoutError,
+    StaleEpochWarning,
     TaskFailedError,
     UnknownMethodError,
     WorkerCrashError,
@@ -74,6 +75,7 @@ __all__ = [
     "RetryPolicy",
     "SolveBudget",
     "SolveTimeoutError",
+    "StaleEpochWarning",
     "Supervisor",
     "SupervisorPolicy",
     "TaskFailedError",

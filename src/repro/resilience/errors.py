@@ -25,6 +25,11 @@ Hierarchy::
 Every class pickles faithfully (payload attributes included) so typed
 errors raised inside process-pool workers arrive intact at the
 coordinator instead of degrading to bare-message copies.
+
+The module also defines :class:`StaleEpochWarning` — not an error:
+the epoch-based session write path degrades gracefully when a commit's
+re-solve fails (the previous epoch stays published and readable), and
+this warning is how that degradation is surfaced.
 """
 
 from __future__ import annotations
@@ -182,6 +187,29 @@ class BudgetExceededError(ReproError, RuntimeError):
         super().__init__(message)
         self.limit = limit
         self.progress = dict(progress or {})
+
+
+class StaleEpochWarning(UserWarning):
+    """A session commit's re-solve failed; the previous epoch stays live.
+
+    Raised as a *warning*, not an error: readers keep getting
+    stale-but-consistent answers from the last published epoch while
+    the session's graph already carries the new weights.  The next
+    successful ``commit()`` or ``solve()`` heals the gap.
+
+    Attributes
+    ----------
+    epoch_index:
+        Index of the epoch still published (the stale one).
+    cause:
+        The typed :class:`ReproError` that aborted the re-solve.
+    """
+
+    def __init__(self, message: str, *, epoch_index: int | None = None,
+                 cause: Exception | None = None) -> None:
+        super().__init__(message)
+        self.epoch_index = epoch_index
+        self.cause = cause
 
 
 class FallbackExhaustedError(ReproError, RuntimeError):

@@ -1,0 +1,436 @@
+"""The epoch-based write path: buffers, router, commits, concurrency."""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import APSPSession, StaleEpochWarning, generators
+from repro.core.incremental import (
+    WEIGHT_QUANTUM,
+    quantize_weights,
+    reweight_stream,
+)
+from repro.core.superfw import superfw
+from repro.plan import UpdateBuffer, UpdateRouter
+from repro.plan.router import fold_ops_estimate
+from repro.resilience.checkpoint import weights_sha
+from repro.resilience.errors import WorkerCrashError
+
+
+def dyadic_grid(side: int = 8, seed: int = 0):
+    """A grid graph with dyadic weights: fold ≡ re-solve bit-for-bit."""
+    return quantize_weights(generators.grid2d(side, side, seed=seed))
+
+
+# ----------------------------------------------------------------------
+# UpdateBuffer
+# ----------------------------------------------------------------------
+class TestUpdateBuffer:
+    def test_last_write_wins(self):
+        buf = UpdateBuffer(10)
+        buf.update(0, 1, 3.0)
+        buf.update(0, 1, 5.0)
+        assert len(buf) == 1
+        assert buf.staged == 2
+        assert buf.items() == [(0, 1, 5.0)]
+
+    def test_undirected_mirror_coalesces(self):
+        buf = UpdateBuffer(10)
+        buf.update(2, 7, 1.0)
+        buf.update(7, 2, 4.0)  # same undirected edge
+        assert buf.items() == [(2, 7, 4.0)]
+
+    def test_directed_mirror_distinct(self):
+        buf = UpdateBuffer(10, directed=True)
+        buf.update(2, 7, 1.0)
+        buf.update(7, 2, 4.0)
+        assert len(buf) == 2
+
+    def test_validation(self):
+        buf = UpdateBuffer(4)
+        with pytest.raises(ValueError):
+            buf.update(0, 4, 1.0)  # out of range
+        with pytest.raises(ValueError):
+            buf.update(1, 1, 1.0)  # self-loop
+        with pytest.raises(ValueError):
+            buf.update(0, 1, float("inf"))
+        with pytest.raises(ValueError):
+            buf.update(0, 1, -1.0)  # negative undirected
+        UpdateBuffer(4, directed=True).update(0, 1, -1.0)  # directed is fine
+
+    def test_clear_and_bool(self):
+        buf = UpdateBuffer(4)
+        assert not buf
+        buf.extend([(0, 1, 2.0), (1, 2, 3.0)])
+        assert buf and len(buf) == 2
+        buf.clear()
+        assert not buf and buf.staged == 0
+
+
+# ----------------------------------------------------------------------
+# Commit semantics
+# ----------------------------------------------------------------------
+class TestCommit:
+    def test_empty_commit_is_noop(self):
+        sess = APSPSession(dyadic_grid())
+        sess.solve()
+        info = sess.commit()
+        assert info.decision == "noop"
+        assert sess.epoch.index == 0
+
+    def test_net_noop_batch(self):
+        sess = APSPSession(dyadic_grid())
+        sess.solve()
+        e = sess.graph.edge_array()[0]
+        sess.apply_updates([(int(e[0]), int(e[1]), float(e[2]))])
+        info = sess.commit()
+        assert info.decision == "noop"
+        assert info.coalesced == 1
+        assert sess.epoch.index == 0  # nothing published
+
+    def test_decrease_batch_folds_exactly(self):
+        sess = APSPSession(dyadic_grid())
+        sess.solve()
+        edges = sess.graph.edge_array()[:6]
+        batch = [(int(u), int(v), float(w) * 0.5) for u, v, w in edges]
+        sess.apply_updates(batch)
+        # Forced: on a graph this small the router may legitimately
+        # prefer a warm re-solve over a 12-terminal fold.
+        info = sess.commit(force="fold")
+        assert info.decision == "fold"
+        assert info.k == 6 and info.increases == 0
+        assert sess.epoch.index == 1
+        scratch = superfw(sess.graph, seed=0)
+        assert np.array_equal(np.asarray(sess.dist), scratch.dist)
+
+    def test_increase_batch_resolves_exactly(self):
+        sess = APSPSession(dyadic_grid())
+        sess.solve()
+        edges = sess.graph.edge_array()[:4]
+        batch = [(int(u), int(v), float(w) * 2.0) for u, v, w in edges]
+        sess.apply_updates(batch)
+        info = sess.commit()
+        assert info.decision == "resolve"
+        assert info.increases == 4
+        assert sess.epoch.index == 1
+        scratch = superfw(sess.graph, seed=0)
+        assert np.array_equal(np.asarray(sess.dist), scratch.dist)
+
+    def test_force_fold_with_increase_raises(self):
+        sess = APSPSession(dyadic_grid())
+        sess.solve()
+        e = sess.graph.edge_array()[0]
+        sess.apply_updates([(int(e[0]), int(e[1]), float(e[2]) * 2.0)])
+        with pytest.raises(ValueError):
+            sess.commit(force="fold")
+
+    def test_unknown_force_raises(self):
+        sess = APSPSession(dyadic_grid())
+        sess.solve()
+        e = sess.graph.edge_array()[0]
+        sess.apply_updates([(int(e[0]), int(e[1]), float(e[2]) * 0.5)])
+        with pytest.raises(ValueError):
+            sess.commit(force="banana")
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_fold_equals_resolve_bit_identically(self, seed):
+        """Property: on dyadic weights a forced fold and a forced warm
+        re-solve of the same decrease batch publish identical bits."""
+        rng = np.random.default_rng(seed)
+        a = APSPSession(dyadic_grid(seed=seed))
+        b = APSPSession(dyadic_grid(seed=seed))
+        a.solve(), b.solve()
+        edges = a.graph.edge_array()
+        pick = rng.choice(edges.shape[0], size=8, replace=False)
+        batch = [
+            (
+                int(edges[i][0]),
+                int(edges[i][1]),
+                max(
+                    WEIGHT_QUANTUM,
+                    round(edges[i][2] * 0.5 / WEIGHT_QUANTUM) * WEIGHT_QUANTUM,
+                ),
+            )
+            for i in pick
+        ]
+        a.apply_updates(batch)
+        b.apply_updates(batch)
+        ia = a.commit(force="fold")
+        ib = b.commit(force="resolve")
+        assert ia.decision == "fold" and ib.decision == "resolve"
+        assert np.array_equal(np.asarray(a.dist), np.asarray(b.dist))
+        assert a.epoch.weights_digest == b.epoch.weights_digest
+
+    def test_rank_k_equals_sequence_of_rank_1(self):
+        g = dyadic_grid(seed=5)
+        batched = APSPSession(g)
+        per_edge = APSPSession(dyadic_grid(seed=5))
+        batched.solve(), per_edge.solve()
+        edges = batched.graph.edge_array()[:10]
+        batch = [(int(u), int(v), float(w) * 0.5) for u, v, w in edges]
+        batched.apply_updates(batch)
+        assert batched.commit(force="fold").decision == "fold"
+        for u, v, w in batch:
+            per_edge.update_edge(u, v, w)
+        assert np.array_equal(np.asarray(batched.dist), np.asarray(per_edge.dist))
+
+    def test_mixed_stream_every_epoch_exact(self):
+        g = dyadic_grid()
+        sess = APSPSession(g)
+        sess.solve()
+        for tick in reweight_stream(g, ticks=3, per_tick=6,
+                                    p_increase=0.5, seed=9):
+            sess.apply_updates(tick)
+            sess.commit()
+            scratch = superfw(sess.graph, seed=0)
+            assert np.array_equal(np.asarray(sess.dist), scratch.dist)
+            assert sess.epoch.weights_digest == weights_sha(sess.graph.weights)
+
+    def test_insert_folds_and_invalidates_plan(self):
+        sess = APSPSession(dyadic_grid())
+        sess.solve()
+        plan_before = sess.plan
+        n = sess.graph.n
+        sess.apply_updates([(0, n - 1, 0.25)])  # brand-new long edge
+        info = sess.commit()
+        assert info.inserts == 1
+        assert info.decision == "fold"  # decrease from inf: folds exactly
+        assert info.improved > 0
+        assert sess.plan is None  # pattern changed; re-analyzed lazily
+        scratch = superfw(sess.graph, seed=0)
+        assert np.array_equal(np.asarray(sess.dist), scratch.dist)
+        result = sess.solve()
+        assert sess.plan is not None
+        assert sess.plan.plan_id != plan_before.plan_id
+
+
+# ----------------------------------------------------------------------
+# Epoch invariants and reader consistency
+# ----------------------------------------------------------------------
+class TestEpoch:
+    def test_published_dist_is_read_only(self):
+        sess = APSPSession(dyadic_grid())
+        with pytest.raises(ValueError):
+            sess.dist[0, 1] = -1.0
+
+    def test_snapshot_survives_commit(self):
+        sess = APSPSession(dyadic_grid())
+        sess.solve()
+        before_epoch = sess.epoch
+        snapshot = np.array(sess.dist)
+        e = sess.graph.edge_array()[0]
+        sess.apply_updates([(int(e[0]), int(e[1]), float(e[2]) * 0.5)])
+        info = sess.commit()
+        assert info.decision == "fold"
+        assert sess.epoch is not before_epoch
+        assert np.array_equal(snapshot, before_epoch.dist)  # untouched
+        assert not np.array_equal(snapshot, np.asarray(sess.dist))
+
+    def test_digest_matches_weights(self):
+        sess = APSPSession(dyadic_grid())
+        assert sess.epoch.weights_digest == weights_sha(sess.graph.weights)
+        assert not sess.stale
+
+    def test_result_meta_carries_weights_digest(self):
+        sess = APSPSession(dyadic_grid())
+        result = sess.solve()
+        assert result.meta["weights_digest"] == sess.epoch.weights_digest
+
+    def test_concurrent_readers_never_see_torn_epochs(self):
+        """Readers hammering the session during fold commits only ever
+        observe fully published, immutable epochs."""
+        g = dyadic_grid(10)
+        sess = APSPSession(g)
+        sess.solve()
+        published: dict[int, str] = {0: sess.epoch.dist_digest()}
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader():
+            while not stop.is_set():
+                ep = sess.epoch
+                snap = np.array(ep.dist)  # full copy racing the writer
+                if not np.array_equal(snap, ep.dist):
+                    failures.append(f"torn read at epoch {ep.index}")
+                    return
+                _ = sess.distance(0, g.n - 1)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        edges = sess.graph.edge_array()
+        rng = np.random.default_rng(4)
+        try:
+            for _ in range(20):
+                i = int(rng.integers(0, edges.shape[0]))
+                u, v, w = edges[i]
+                new_w = max(
+                    WEIGHT_QUANTUM,
+                    round(float(w) * 0.9 / WEIGHT_QUANTUM) * WEIGHT_QUANTUM,
+                )
+                sess.apply_updates([(int(u), int(v), new_w)])
+                info = sess.commit()
+                if info.decision != "noop":
+                    published[sess.epoch.index] = sess.epoch.dist_digest()
+                edges = sess.graph.edge_array()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not failures, failures
+        # Every published epoch's matrix stayed immutable: recomputing
+        # its digest reproduces what was recorded at publish time.
+        assert published[sess.epoch.index] == sess.epoch.dist_digest()
+
+
+# ----------------------------------------------------------------------
+# update_edge rides the batch machinery
+# ----------------------------------------------------------------------
+class TestUpdateEdge:
+    def test_update_edge_is_a_one_element_commit(self):
+        sess = APSPSession(dyadic_grid())
+        sess.solve()
+        assert sess.commits == 0
+        e = sess.graph.edge_array()[0]
+        improved = sess.update_edge(int(e[0]), int(e[1]), float(e[2]) * 0.5)
+        assert improved > 0
+        assert sess.commits == 1
+        assert sess.fast_updates == 1
+        assert sess.epoch.index == 1
+
+    def test_update_edge_increase_resolves_through_commit(self):
+        sess = APSPSession(dyadic_grid())
+        sess.solve()
+        e = sess.graph.edge_array()[0]
+        out = sess.update_edge(int(e[0]), int(e[1]), float(e[2]) * 3.0)
+        assert out == -1
+        assert sess.recomputes == 1
+        assert sess.commits == 1
+        assert sess.epoch.index == 1
+
+
+# ----------------------------------------------------------------------
+# Router
+# ----------------------------------------------------------------------
+class TestRouter:
+    def _decide(self, router, **kw):
+        defaults = dict(
+            n=256, k=1, terminals=2, increases=0, inserts=0,
+            have_epoch=True, have_plan=True,
+        )
+        defaults.update(kw)
+        return router.decide(**defaults)
+
+    def test_small_decrease_folds(self):
+        d = self._decide(UpdateRouter())
+        assert d.action == "fold"
+
+    def test_increases_force_resolve(self):
+        d = self._decide(UpdateRouter(), increases=1)
+        assert d.action == "resolve"
+        assert "increase" in d.reason
+
+    def test_no_epoch_forces_resolve(self):
+        d = self._decide(UpdateRouter(), have_epoch=False)
+        assert d.action == "resolve"
+
+    def test_insert_with_increase_reanalyzes(self):
+        d = self._decide(UpdateRouter(), inserts=1, increases=1)
+        assert d.action == "reanalyze"
+        assert "reanalyze" in d.predicted_seconds
+
+    def test_wide_batch_resolves(self):
+        # Every vertex a terminal: the fold costs ~3x a dense solve.
+        d = self._decide(UpdateRouter(), k=400, terminals=256)
+        assert d.action == "resolve"
+
+    def test_observe_calibrates_rate(self):
+        router = UpdateRouter()
+        before = router.rate("fold")
+        router.observe("fold", ops=1e6, seconds=1.0)  # 1e6 ops/s: slow
+        assert router.rate("fold") != before
+        router.observe("fold", ops=1e6, seconds=1.0)
+        assert router.rate("fold") == pytest.approx(1e6, rel=0.5)
+
+    def test_decision_counts_and_record(self):
+        router = UpdateRouter()
+        d = self._decide(router)
+        assert router.decisions == {"fold": 1}
+        rec = d.record()
+        assert rec["decision"] == "fold"
+        assert "fold" in rec["predicted_seconds"]
+        assert router.stats()["decisions"] == {"fold": 1}
+
+    def test_fold_ops_monotonic_in_terminals(self):
+        assert fold_ops_estimate(256, 4) < fold_ops_estimate(256, 64)
+
+    def test_session_records_router_meta(self):
+        sess = APSPSession(dyadic_grid())
+        sess.solve()
+        e = sess.graph.edge_array()[0]
+        sess.apply_updates([(int(e[0]), int(e[1]), float(e[2]) * 2.0)])
+        info = sess.commit()
+        assert info.router["decision"] == "resolve"
+        assert sess.epoch.meta["router"]["decision"] == "resolve"
+        assert sess.last_result.meta["router"]["decision"] == "resolve"
+        assert "router" in sess.stats()
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: a failed re-solve leaves the epoch published
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def _failing_session(self, monkeypatch):
+        sess = APSPSession(dyadic_grid())
+        sess.solve()
+
+        def boom(graph, opts):
+            raise WorkerCrashError("injected crash", cause="crash")
+
+        monkeypatch.setattr(sess, "_dispatch", boom)
+        return sess
+
+    def test_degraded_commit_keeps_previous_epoch(self, monkeypatch):
+        sess = self._failing_session(monkeypatch)
+        before = sess.epoch
+        snapshot = np.array(sess.dist)
+        e = sess.graph.edge_array()[0]
+        sess.apply_updates([(int(e[0]), int(e[1]), float(e[2]) * 2.0)])
+        with pytest.warns(StaleEpochWarning) as caught:
+            info = sess.commit()
+        assert info.degraded
+        assert "injected crash" in info.error
+        assert caught[0].message.epoch_index == before.index
+        assert isinstance(caught[0].message.cause, WorkerCrashError)
+        # Readers still get the previous epoch, bit-for-bit.
+        assert sess.epoch is before
+        assert np.array_equal(np.asarray(sess.dist), snapshot)
+        # ... but the session knows its graph has moved on.
+        assert sess.stale
+
+    def test_next_solve_heals(self, monkeypatch):
+        sess = self._failing_session(monkeypatch)
+        e = sess.graph.edge_array()[0]
+        sess.apply_updates([(int(e[0]), int(e[1]), float(e[2]) * 2.0)])
+        with pytest.warns(StaleEpochWarning):
+            sess.commit()
+        monkeypatch.undo()
+        index_before = sess.epoch.index
+        sess.solve()
+        assert not sess.stale
+        assert sess.epoch.index == index_before + 1
+        scratch = superfw(sess.graph, seed=0)
+        assert np.array_equal(np.asarray(sess.dist), scratch.dist)
+
+    def test_degraded_fold_never_happens_for_decreases(self, monkeypatch):
+        # Decrease-only commits fold without dispatching a solve at all,
+        # so a broken backend cannot degrade them.
+        sess = self._failing_session(monkeypatch)
+        e = sess.graph.edge_array()[0]
+        sess.apply_updates([(int(e[0]), int(e[1]), float(e[2]) * 0.5)])
+        info = sess.commit()
+        assert info.decision == "fold" and not info.degraded

@@ -123,3 +123,98 @@ def test_noop_update_improves_nothing(mesh_graph):
     edges = mesh_graph.edge_array()
     u, v, w = int(edges[0, 0]), int(edges[0, 1]), float(edges[0, 2])
     assert inc.update_edge(u, v, w) == 0  # same weight: fast path, no change
+
+
+# ----------------------------------------------------------------------
+# In-place reweighting (no O(m) graph reconstruction per update)
+# ----------------------------------------------------------------------
+def test_update_edge_reweights_in_place(mesh_graph):
+    inc = IncrementalAPSP(mesh_graph, seed=0)
+    graph_before = inc.graph
+    weights_buffer = inc.graph.weights
+    edges = mesh_graph.edge_array()
+    u, v, w = int(edges[2, 0]), int(edges[2, 1]), float(edges[2, 2])
+    inc.update_edge(u, v, w / 2)
+    # Reweighting an existing edge mutates the arc slots directly —
+    # same graph object, same weight buffer, no rebuild.
+    assert inc.graph is graph_before
+    assert inc.graph.weights is weights_buffer
+    assert inc.graph.weights[inc.graph.indptr[u]:inc.graph.indptr[u + 1]][
+        inc.graph.indices[inc.graph.indptr[u]:inc.graph.indptr[u + 1]] == v
+    ] == pytest.approx(w / 2)
+
+
+def test_insert_still_rebuilds_structure(mesh_graph):
+    inc = IncrementalAPSP(mesh_graph, seed=0)
+    graph_before = inc.graph
+    dist0 = inc.dist.copy()
+    far = np.unravel_index(
+        np.argmax(np.where(np.isfinite(dist0), dist0, -1)), dist0.shape
+    )
+    u, v = int(far[0]), int(far[1])
+    inc.update_edge(u, v, 1e-3)
+    assert inc.graph is not graph_before  # a new edge changes the pattern
+    assert inc.graph.has_edge(u, v)
+
+
+def test_caller_graph_never_mutated(mesh_graph):
+    snapshot = mesh_graph.weights.copy()
+    inc = IncrementalAPSP(mesh_graph, seed=0)
+    edges = mesh_graph.edge_array()
+    u, v, w = int(edges[1, 0]), int(edges[1, 1]), float(edges[1, 2])
+    inc.update_edge(u, v, w / 4)
+    inc.update_edge(u, v, w * 4)  # recompute path
+    assert np.array_equal(mesh_graph.weights, snapshot)
+
+
+# ----------------------------------------------------------------------
+# Rank-k batch fold and the synthetic reweight stream
+# ----------------------------------------------------------------------
+def test_apply_batch_improvements_matches_recompute(mesh_graph):
+    from repro.core.incremental import apply_batch_improvements
+
+    dist = superfw(mesh_graph, seed=0).dist.copy()
+    edges = mesh_graph.edge_array()
+    updates = [
+        (int(edges[i, 0]), int(edges[i, 1]), float(edges[i, 2]) / 3)
+        for i in (0, 4, 9, 13)
+    ]
+    improved = apply_batch_improvements(dist, updates)
+    assert improved > 0
+    new = mesh_graph.edge_array()
+    for u, v, w in updates:
+        mask = ((new[:, 0] == u) & (new[:, 1] == v)) | (
+            (new[:, 0] == v) & (new[:, 1] == u)
+        )
+        new[mask, 2] = w
+    reference = superfw(Graph.from_edges(mesh_graph.n, new), seed=0)
+    assert np.allclose(dist, reference.dist)
+
+
+def test_apply_batch_improvements_empty_is_noop():
+    from repro.core.incremental import apply_batch_improvements
+
+    dist = np.array([[0.0, 1.0], [1.0, 0.0]])
+    before = dist.copy()
+    assert apply_batch_improvements(dist, []) == 0
+    assert np.array_equal(dist, before)
+
+
+def test_reweight_stream_deterministic_and_dyadic():
+    from repro.core.incremental import (
+        WEIGHT_QUANTUM,
+        quantize_weights,
+        reweight_stream,
+    )
+    from repro.graphs.generators import grid2d
+
+    g = quantize_weights(grid2d(6, 6, seed=0))
+    a = list(reweight_stream(g, ticks=3, per_tick=4, seed=5))
+    b = list(reweight_stream(g, ticks=3, per_tick=4, seed=5))
+    assert a == b  # same seed, same stream
+    assert len(a) == 3 and all(len(tick) == 4 for tick in a)
+    for tick in a:
+        for _, _, w in tick:
+            assert w >= WEIGHT_QUANTUM
+            # Dyadic: an exact multiple of the quantum.
+            assert w == round(w / WEIGHT_QUANTUM) * WEIGHT_QUANTUM
