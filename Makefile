@@ -3,7 +3,7 @@
 PYTHON ?= python
 SIZE   ?= 0.5
 
-.PHONY: install test faults chaos bench bench-engine bench-plan bench-obs bench-resilience bench-dynamic trace docs-check experiments examples clean all
+.PHONY: install test faults chaos bench bench-engine bench-plan bench-obs bench-resilience bench-dynamic bench-query trace docs-check experiments examples clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -47,6 +47,11 @@ bench-resilience:
 # chaos degradation path -> BENCH_dynamic.json.
 bench-dynamic:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_dynamic.py --check
+
+# Hub-label index build cost, batched query throughput (>=1e5 q/s), and
+# exactness vs the full matrix incl. after a commit -> BENCH_query.json.
+bench-query:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_query.py --check
 
 # One traced process-backend solve -> trace.json (open in ui.perfetto.dev).
 trace:

@@ -25,6 +25,8 @@ Public surface
 * :mod:`repro.parallel` — task DAGs and the work-depth scaling simulator;
 * :mod:`repro.resilience` — typed errors, fault injection, budgets, and
   the verified ``method="auto"`` fallback chain;
+* :mod:`repro.serve` — the serving tier: hub-label index seeded from
+  the separator hierarchy plus the batched ``DistanceServer``;
 * :mod:`repro.experiments` — one runner per paper table/figure.
 """
 
@@ -69,12 +71,15 @@ from repro.resilience import (
     RetryPolicy,
     SolveBudget,
     SolveTimeoutError,
+    StaleEpochError,
     StaleEpochWarning,
     SupervisorPolicy,
     TaskFailedError,
+    UnreachablePairError,
     WorkerCrashError,
     inject_faults,
 )
+from repro.serve import DistanceServer, HubLabelIndex
 
 __version__ = "1.1.0"
 
@@ -85,11 +90,13 @@ __all__ = [
     "CheckpointManager",
     "CommitInfo",
     "DiGraph",
+    "DistanceServer",
     "Epoch",
     "FallbackExhaustedError",
     "FaultSpec",
     "Graph",
     "GraphValidationError",
+    "HubLabelIndex",
     "IncrementalAPSP",
     "KernelFaultError",
     "MetricsRegistry",
@@ -101,12 +108,14 @@ __all__ = [
     "RetryPolicy",
     "SolveBudget",
     "SolveTimeoutError",
+    "StaleEpochError",
     "StaleEpochWarning",
     "SuperFWPlan",
     "SupervisorPolicy",
     "TaskFailedError",
     "Tracer",
     "TreewidthAPSP",
+    "UnreachablePairError",
     "UpdateBuffer",
     "UpdateRouter",
     "WorkerCrashError",

@@ -265,7 +265,7 @@ def _cmd_plan(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    from repro.core.treewidth import TreewidthAPSP
+    import time
 
     graph = _load_graph(args)
     pairs = []
@@ -277,12 +277,91 @@ def _cmd_query(args) -> int:
         if not (0 <= a < graph.n and 0 <= b < graph.n):
             raise SystemExit(f"pair {spec!r} out of range 0..{graph.n - 1}")
         pairs.append((a, b))
-    solver = TreewidthAPSP(graph, seed=args.seed)
-    print(f"factorized in {solver.timings.total * 1e3:.1f} ms "
-          f"(width {solver.width})")
+    if not pairs and not args.random:
+        raise SystemExit("provide SRC:DST pairs and/or --random K")
+
+    if args.dpc:
+        # Legacy label-on-demand path: DPC/P3C factor, no dense matrix.
+        from repro.core.treewidth import TreewidthAPSP
+
+        solver = TreewidthAPSP(graph, seed=args.seed)
+        print(f"factorized in {solver.timings.total * 1e3:.1f} ms "
+              f"(width {solver.width})")
+        for a, b in pairs:
+            print(f"dist({a}, {b}) = {solver.query(a, b):.6g}")
+        if args.random:
+            rng = np.random.default_rng(args.seed)
+            t0 = time.perf_counter()
+            for a, b in rng.integers(0, graph.n, (args.random, 2)):
+                solver.query(int(a), int(b))
+            dt = time.perf_counter() - t0
+            print(f"{args.random} random queries in {dt * 1e3:.1f} ms "
+                  f"({args.random / max(dt, 1e-12):,.0f} queries/s)")
+        if args.verify:
+            return _verify_queries(graph, pairs, args, solver.query)
+        return 0
+
+    from repro.plan.cache import PlanCache
+    from repro.serve import DistanceServer
+
+    cache = PlanCache(directory=args.plan_cache) if args.plan_cache else None
+    server = DistanceServer(graph, method=args.method, cache=cache)
+    t0 = time.perf_counter()
+    index = server.refresh()
+    build_s = time.perf_counter() - t0
+    sizes = index.label_sizes()
+    print(
+        f"index: {index.entries} label entries over {graph.n} vertices "
+        f"in {index.ncomp} shard(s) (mean width {sizes.mean():.1f}, "
+        f"max width {int(sizes.max()) if graph.n else 0}), "
+        f"built in {build_s * 1e3:.1f} ms"
+    )
     for a, b in pairs:
-        print(f"dist({a}, {b}) = {solver.query(a, b):.6g}")
+        print(f"dist({a}, {b}) = {server.query(a, b):.6g}")
+    rand_pairs: list[tuple[int, int]] = []
+    if args.random:
+        rng = np.random.default_rng(args.seed)
+        draws = rng.integers(0, graph.n, (args.random, 2))
+        rand_pairs = [(int(a), int(b)) for a, b in draws]
+        sources = draws[:, 0]
+        targets = draws[:, 1]
+        t0 = time.perf_counter()
+        for k in range(0, len(sources), args.batch_size):
+            server.query_many(
+                sources[k:k + args.batch_size], targets[k:k + args.batch_size]
+            )
+        dt = time.perf_counter() - t0
+        print(f"{args.random} random queries in {dt * 1e3:.1f} ms "
+              f"({args.random / max(dt, 1e-12):,.0f} queries/s, "
+              f"batch size {args.batch_size})")
+    if args.stats:
+        for key, value in sorted(server.stats().items()):
+            print(f"{key}: {value}")
+    if args.verify:
+        return _verify_queries(
+            graph, pairs + rand_pairs, args, server.query,
+            dist=np.asarray(server.session.dist),
+        )
     return 0
+
+
+def _verify_queries(graph, pairs, args, query, dist=None) -> int:
+    """Spot-check ``query`` answers against a full solve's matrix."""
+    if dist is None:
+        from repro.core.superfw import superfw
+
+        dist = superfw(graph, seed=args.seed).dist
+    bad = 0
+    for a, b in pairs:
+        got, want = query(a, b), float(dist[a, b])
+        same_inf = np.isinf(got) and np.isinf(want)
+        if not (same_inf or np.isclose(got, want)):
+            print(f"VERIFY FAILED: dist({a}, {b}) = {got!r}, matrix says "
+                  f"{want!r}", file=sys.stderr)
+            bad += 1
+    print(f"verified {len(pairs)} queries against the full matrix: "
+          f"{'OK' if not bad else f'{bad} mismatches'}")
+    return 1 if bad else 0
 
 
 def _cmd_info(args) -> int:
@@ -726,16 +805,60 @@ def build_parser() -> argparse.ArgumentParser:
     planp.set_defaults(func=_cmd_plan)
 
     query = sub.add_parser(
-        "query", help="point-to-point distances without the full matrix"
+        "query", help="point-to-point distances served from a hub-label index"
     )
     # Pairs are positional here, so the graph must come via flags to keep
     # argparse unambiguous.
     query.add_argument(
-        "pairs", nargs="+", metavar="SRC:DST", help="vertex pairs like 0:99"
+        "pairs", nargs="*", metavar="SRC:DST", help="vertex pairs like 0:99"
     )
     query.add_argument("--graph", help="Matrix-Market file")
     query.add_argument("--generate", metavar="SPEC")
     query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--directed",
+        action="store_true",
+        help="read the file as arcs / randomly orient the generated graph",
+    )
+    query.add_argument(
+        "--method",
+        default="superfw",
+        choices=["superfw", "superbfs", "parallel-superfw"],
+        help="session solver that builds the epoch the index slices",
+    )
+    query.add_argument(
+        "--random",
+        type=int,
+        default=0,
+        metavar="K",
+        help="also time K random pairs through the batched path",
+    )
+    query.add_argument(
+        "--batch-size",
+        type=int,
+        default=4096,
+        help="batch size for the --random throughput run",
+    )
+    query.add_argument(
+        "--plan-cache",
+        metavar="DIR",
+        help="persistent plan cache directory for warm index builds",
+    )
+    query.add_argument(
+        "--verify",
+        action="store_true",
+        help="check every printed/random answer against the full matrix",
+    )
+    query.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the server's serving counters",
+    )
+    query.add_argument(
+        "--dpc",
+        action="store_true",
+        help="use the legacy DPC/P3C TreewidthAPSP path (no dense matrix)",
+    )
     query.set_defaults(func=_cmd_query)
 
     exp = sub.add_parser("experiment", help="run a paper table/figure")

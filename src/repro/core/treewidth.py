@@ -25,6 +25,8 @@ for simple temporal networks).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.graphs.digraph import DiGraph
@@ -119,6 +121,12 @@ class TreewidthAPSP:
         allowed on digraphs when no negative cycle exists).
     seed:
         Seeds the nested-dissection ordering.
+    label_cache_size:
+        Maximum number of vertices whose hub labels stay cached.  Labels
+        are built lazily on first use and evicted least-recently-used
+        past this bound (mirroring :class:`repro.plan.cache.PlanCache`),
+        so a long-lived query server under random load holds
+        ``O(label_cache_size · width)`` floats, not ``O(n · width)``.
 
     Notes
     -----
@@ -134,7 +142,10 @@ class TreewidthAPSP:
         *,
         seed: int = 0,
         ordering=None,
+        label_cache_size: int = 4096,
     ) -> None:
+        if label_cache_size < 1:
+            raise ValueError("label_cache_size must be >= 1")
         self.graph = graph
         self.directed = isinstance(graph, DiGraph)
         self.timings = TimingBreakdown()
@@ -156,8 +167,12 @@ class TreewidthAPSP:
         # Hub labels are built lazily, one vertex at a time on first use:
         # a handful of queries then costs O(queried labels), not O(n) —
         # the whole point of the query-oriented end of the hierarchy.
-        self._to_anc: dict[int, dict[int, float]] = {}
-        self._from_anc: dict[int, dict[int, float]] = {}
+        # Both caches are bounded LRUs advanced in lockstep (same keys,
+        # same recency order), so memory stays flat under random load.
+        self.label_cache_size = int(label_cache_size)
+        self.label_evictions = 0
+        self._to_anc: OrderedDict[int, dict[int, float]] = OrderedDict()
+        self._from_anc: OrderedDict[int, dict[int, float]] = OrderedDict()
 
     # ------------------------------------------------------------------
     def _factorize(self) -> None:
@@ -181,6 +196,8 @@ class TreewidthAPSP:
         """
         cached = self._to_anc.get(i)
         if cached is not None:
+            self._to_anc.move_to_end(i)
+            self._from_anc.move_to_end(i)
             return cached, self._from_anc[i]
         w = self._w
         ancestors: list[int] = []
@@ -209,17 +226,28 @@ class TreewidthAPSP:
                     if cand < lab_from.get(b, np.inf):
                         lab_from[b] = cand
         if not self.directed:
-            lab_from = lab_to
+            # The two directions coincide, but the caches must not alias
+            # one dict: a later in-place mutation through one handle
+            # would silently corrupt the other query direction.
+            lab_from = dict(lab_to)
         self._to_anc[i] = lab_to
         self._from_anc[i] = lab_from
+        while len(self._to_anc) > self.label_cache_size:
+            self._to_anc.popitem(last=False)
+            self._from_anc.popitem(last=False)
+            self.label_evictions += 1
         return lab_to, lab_from
 
     # ------------------------------------------------------------------
     def query(self, i: int, j: int) -> float:
         """Shortest distance from ``i`` to ``j`` (original labels)."""
-        if i == j:
-            return 0.0
         pi, pj = int(self.iperm[i]), int(self.iperm[j])
+        if i == j:
+            # Consult the factor diagonal instead of a hardcoded 0.0:
+            # after DPC + P3C it equals the full-matrix solvers' diagonal
+            # (the min over the empty path and every cycle through i), so
+            # query() and superfw agree entry-for-entry.
+            return float(self._w[pi, pi])
         lab_i, _ = self._labels_of(pi)
         _, lab_j = self._labels_of(pj)
         # Iterate the smaller label.

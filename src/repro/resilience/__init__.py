@@ -36,9 +36,11 @@ from repro.resilience.errors import (
     NegativeCycleError,
     ReproError,
     SolveTimeoutError,
+    StaleEpochError,
     StaleEpochWarning,
     TaskFailedError,
     UnknownMethodError,
+    UnreachablePairError,
     WorkerCrashError,
 )
 from repro.resilience.fallback import DEFAULT_CHAIN, Attempt, solve_with_fallback
@@ -75,11 +77,13 @@ __all__ = [
     "RetryPolicy",
     "SolveBudget",
     "SolveTimeoutError",
+    "StaleEpochError",
     "StaleEpochWarning",
     "Supervisor",
     "SupervisorPolicy",
     "TaskFailedError",
     "UnknownMethodError",
+    "UnreachablePairError",
     "WorkerCrashError",
     "active_injector",
     "as_tracker",

@@ -20,7 +20,11 @@ Hierarchy::
     │   │                                   exhausted its rebuild budget
     │   └── SolveTimeoutError               a task blew its deadline repeatedly
     ├── BudgetExceededError (RuntimeError)  solve budget exhausted mid-flight
-    └── FallbackExhaustedError (RuntimeError)  every backend in the chain failed
+    ├── FallbackExhaustedError (RuntimeError)  every backend in the chain failed
+    ├── UnreachablePairError (ValueError)   strict-mode query on a pair with
+    │                                       no connecting path
+    └── StaleEpochError (RuntimeError)      strict-mode serving while the
+                                            published epoch lags the weights
 
 Every class pickles faithfully (payload attributes included) so typed
 errors raised inside process-pool workers arrive intact at the
@@ -210,6 +214,62 @@ class StaleEpochWarning(UserWarning):
         super().__init__(message)
         self.epoch_index = epoch_index
         self.cause = cause
+
+
+class UnreachablePairError(ReproError, ValueError):
+    """A strict-mode distance query hit a pair with no connecting path.
+
+    The serving tier answers unreachable pairs with ``inf`` by default;
+    a :class:`~repro.serve.server.DistanceServer` built with
+    ``strict=True`` raises this instead, so route services that treat
+    "no route" as a hard error get a typed signal rather than a silent
+    infinity.
+
+    Attributes
+    ----------
+    source, target:
+        The queried pair (original vertex labels), when known.
+    """
+
+    def __init__(self, message: str | None = None, *,
+                 source: int | None = None, target: int | None = None) -> None:
+        if message is None:
+            message = (
+                f"no path from {source} to {target}"
+                if source is not None and target is not None
+                else "queried pair is unreachable"
+            )
+        super().__init__(message)
+        self.source = source
+        self.target = target
+
+
+class StaleEpochError(ReproError, RuntimeError):
+    """A strict server was asked to answer from a stale published epoch.
+
+    The session's graph carries newer weights than the epoch currently
+    published (a commit's re-solve failed and degraded with
+    :class:`StaleEpochWarning`).  Servers with ``stale_policy="serve"``
+    keep answering from the stale-but-consistent epoch and count the
+    occurrences; ``stale_policy="raise"`` surfaces this error so callers
+    can fail over instead of serving outdated distances.
+
+    Attributes
+    ----------
+    epoch_index:
+        Index of the stale epoch still published.
+    weights_digest:
+        Digest of the weights that epoch was computed at.
+    """
+
+    def __init__(self, message: str = "published epoch is stale", *,
+                 epoch_index: int | None = None,
+                 weights_digest: str | None = None) -> None:
+        if epoch_index is not None:
+            message = f"{message} (epoch {epoch_index})"
+        super().__init__(message)
+        self.epoch_index = epoch_index
+        self.weights_digest = weights_digest
 
 
 class FallbackExhaustedError(ReproError, RuntimeError):

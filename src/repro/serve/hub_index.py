@@ -1,0 +1,339 @@
+"""2-hop hub-label index seeded from the SuperFW separator hierarchy.
+
+The paper's conclusion asks where SuperFW sits in an APSP "hierarchy of
+methods"; this module is the serving-tier answer.  A route service does
+not want the dense ``n²`` matrix per request — it wants *labels*: for
+every vertex ``v``, a small set of hubs ``H(v)`` with exact distances
+``d(v → h)`` and ``d(h → v)``, such that every shortest path from ``u``
+to ``v`` passes through some hub in ``H(u) ∩ H(v)``.  A query is then
+
+    dist(u, v) = min over h in H(u) ∩ H(v) of d(u → h) + d(h → v)
+
+— the classic 2-hop / pruned-landmark scheme, with SuperFW's nested
+dissection separators as the hubs.
+
+**Why the separator hierarchy covers.**  In the fill-reducing ordering,
+the maximum-numbered vertex of any shortest path between ``u`` and ``v``
+is a common elimination-tree ancestor of both (the same fact the DPC /
+P3C factorization in :mod:`repro.core.treewidth` rests on).  Every
+etree ancestor of a vertex in supernode ``s`` lies either at a
+greater-or-equal position inside ``s`` itself or inside one of ``s``'s
+ancestor supernodes — supernodes are exactly contiguous runs of the
+vertex etree chain, and ``parent(s) > s`` always.  So taking
+
+    H(v) = { positions ≥ p(v) in snode(v) }  ∪  vertices of A(snode(v))
+
+(with ``p(v)`` the permuted position of ``v``) is a superset of the
+etree-ancestor hub set and therefore a *valid* 2-hop cover.  The extra
+vertices are harmless: label distances are sliced from an exact
+published epoch, so any hub only ever contributes ``d(u→h) + d(h→v) ≥
+dist(u, v)`` by the triangle inequality.  Label sizes are bounded by the
+separator-chain length — the quantity small nested-dissection separators
+directly minimize.
+
+The labels are *sliced*, not recomputed: the index is built against a
+published :class:`~repro.plan.epoch.Epoch` of an
+:class:`~repro.plan.session.APSPSession`, so index construction costs
+one warm solve (reused if the session already solved) plus ``O(total
+label entries)`` gather — and the answers are bit-identical to the
+matrix the write path published.
+
+Storage is CSR over *original* vertex ids: ``ptr``/``hubs``/``dto``/
+``dfrom``, with hubs kept as permuted positions so every label array is
+sorted ascending — the batched join in :meth:`HubLabelIndex.query_many`
+exploits that ordering with a ``searchsorted`` merge instead of
+re-sorting per query.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.graphs.components import connected_components
+from repro.obs import get_tracer
+from repro.plan.session import APSPSession
+
+
+class HubLabelIndex:
+    """Immutable 2-hop label set for one published epoch.
+
+    Build with :meth:`build`; query with :meth:`query_one` /
+    :meth:`query_many`.  Instances are never mutated after construction —
+    the serving layer swaps whole indexes atomically when a new epoch
+    publishes, mirroring the session's own epoch swap.
+
+    Attributes
+    ----------
+    ptr, hubs, dto, dfrom:
+        CSR label storage over original vertex ids: vertex ``v`` owns
+        entries ``[ptr[v], ptr[v+1])``; ``hubs`` holds hub *permuted
+        positions* (ascending per vertex), ``dto[e] = dist(v → hub)``,
+        ``dfrom[e] = dist(hub → v)``.
+    comp:
+        Connected-component label per vertex (components of the plan's
+        symmetrized pattern — weak components for digraphs).  Labels of
+        different components are disjoint, so the index is the union of
+        independent per-component shards and cross-component queries
+        short-circuit to ``inf`` without touching the label arrays.
+    epoch_index, weights_digest, plan_id:
+        Identity of the epoch/plan this index was sliced from.
+    """
+
+    __slots__ = (
+        "n", "directed", "ptr", "hubs", "dto", "dfrom", "perm",
+        "comp", "ncomp", "epoch_index", "weights_digest", "plan_id",
+        "build_seconds", "solve_seconds",
+    )
+
+    def __init__(self, *, n, directed, ptr, hubs, dto, dfrom, perm, comp,
+                 ncomp, epoch_index, weights_digest, plan_id,
+                 build_seconds=0.0, solve_seconds=0.0) -> None:
+        self.n = int(n)
+        self.directed = bool(directed)
+        self.ptr = ptr
+        self.hubs = hubs
+        self.dto = dto
+        self.dfrom = dfrom
+        self.perm = perm
+        self.comp = comp
+        self.ncomp = int(ncomp)
+        self.epoch_index = int(epoch_index)
+        self.weights_digest = weights_digest
+        self.plan_id = plan_id
+        self.build_seconds = float(build_seconds)
+        self.solve_seconds = float(solve_seconds)
+        for arr in (self.ptr, self.hubs, self.dto, self.dfrom, self.comp):
+            arr.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, session: APSPSession) -> "HubLabelIndex":
+        """Slice a label index out of ``session``'s published epoch.
+
+        Solves first if the session has no epoch yet, and re-solves if a
+        structural commit dropped the plan (the labels need plan and
+        epoch to describe the *same* structure and weights).  Reported
+        under the ``hub-index-build`` span with per-phase children.
+        """
+        tracer = get_tracer()
+        t0 = time.perf_counter()
+        with tracer.span("hub-index-build", n=session.graph.n):
+            solve_s = 0.0
+            with tracer.span("hub-index-solve"):
+                if session.plan is None or session._epoch is None:
+                    t1 = time.perf_counter()
+                    session.solve()
+                    solve_s = time.perf_counter() - t1
+            epoch = session.epoch
+            plan = session.plan
+            st = plan.structure
+            n = st.n
+            perm = np.asarray(plan.ordering.perm, dtype=np.int64)
+            dist = np.asarray(epoch.dist)
+
+            with tracer.span("hub-index-labels"):
+                # Ancestor-chain vertex positions per supernode, memoized
+                # root-down (parent(s) > s, so chain[parent] exists by the
+                # time s needs it when filling from the last snode back).
+                ns = st.ns
+                parent = st.parent
+                chain: list[np.ndarray] = [None] * ns  # type: ignore[list-item]
+                for s in range(ns - 1, -1, -1):
+                    own = np.arange(
+                        st.snode_ptr[s], st.snode_ptr[s + 1], dtype=np.int64
+                    )
+                    p = int(parent[s])
+                    chain[s] = own if p < 0 else np.concatenate((own, chain[p]))
+
+                counts = np.zeros(n, dtype=np.int64)
+                hub_parts: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+                dto_parts: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+                dfrom_parts: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+                for s in range(ns):
+                    lo, hi = int(st.snode_ptr[s]), int(st.snode_ptr[s + 1])
+                    ch = chain[s]
+                    orig = perm[ch]
+                    verts = perm[lo:hi]
+                    # Every vertex of the supernode shares the chain, so
+                    # two 2D gathers fetch all its labels at once; vertex
+                    # at offset t then keeps the suffix from t (its own
+                    # position onward).
+                    d_to_all = dist[np.ix_(verts, orig)]
+                    d_from_all = dist[np.ix_(orig, verts)].T
+                    # Prune hubs unreachable in both directions: they can
+                    # never witness a minimum, and dropping them confines
+                    # each label to its own component.
+                    finite = np.isfinite(d_to_all) | np.isfinite(d_from_all)
+                    all_finite = bool(finite.all())
+                    for t in range(hi - lo):
+                        v = int(verts[t])
+                        hubs_pos = ch[t:]
+                        d_to = d_to_all[t, t:]
+                        d_from = d_from_all[t, t:]
+                        if not all_finite:
+                            keep = finite[t, t:]
+                            hubs_pos = hubs_pos[keep]
+                            d_to = d_to[keep]
+                            d_from = d_from[keep]
+                        counts[v] = hubs_pos.size
+                        hub_parts[v] = hubs_pos
+                        dto_parts[v] = d_to
+                        dfrom_parts[v] = d_from
+
+                ptr = np.zeros(n + 1, dtype=np.int64)
+                np.cumsum(counts, out=ptr[1:])
+                hubs = (np.concatenate(hub_parts) if n
+                        else np.empty(0, dtype=np.int64))
+                dto = np.concatenate(dto_parts) if n else np.empty(0)
+                dfrom = np.concatenate(dfrom_parts) if n else np.empty(0)
+
+            with tracer.span("hub-index-shards"):
+                ncomp, comp = connected_components(plan.pattern)
+
+        build_s = time.perf_counter() - t0
+        if tracer.enabled:
+            tracer.metric_inc("serve.index_builds")
+            tracer.metrics.observe("serve.index_build_s", build_s)
+            tracer.metrics.observe("serve.label_entries", float(hubs.size))
+        return cls(
+            n=n, directed=session.directed, ptr=ptr, hubs=hubs, dto=dto,
+            dfrom=dfrom, perm=perm, comp=comp, ncomp=ncomp,
+            epoch_index=epoch.index, weights_digest=epoch.weights_digest,
+            plan_id=plan.plan_id, build_seconds=build_s, solve_seconds=solve_s,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> int:
+        """Total label entries across all vertices."""
+        return int(self.hubs.shape[0])
+
+    def label_sizes(self) -> np.ndarray:
+        """Per-vertex label cardinality (query-cost proxy)."""
+        return np.diff(self.ptr)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the label arrays."""
+        return sum(
+            a.nbytes for a in (self.ptr, self.hubs, self.dto, self.dfrom)
+        )
+
+    def shard_stats(self) -> list[dict]:
+        """Per-component shard summary (vertices, entries, widths)."""
+        sizes = self.label_sizes()
+        out = []
+        for c in range(self.ncomp):
+            vs = np.flatnonzero(self.comp == c)
+            out.append({
+                "component": int(c),
+                "vertices": int(vs.size),
+                "entries": int(sizes[vs].sum()),
+                "max_width": int(sizes[vs].max()) if vs.size else 0,
+            })
+        return out
+
+    # ------------------------------------------------------------------
+    def _check_ids(self, idx: np.ndarray) -> None:
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n):
+            bad = idx[(idx < 0) | (idx >= self.n)][0]
+            raise ValueError(
+                f"vertex id {int(bad)} out of range for n={self.n}"
+            )
+
+    def query_one(self, i: int, j: int) -> float:
+        """Distance for one pair (original ids); ``inf`` if unreachable."""
+        out = self.query_many(
+            np.asarray([i], dtype=np.int64), np.asarray([j], dtype=np.int64)
+        )
+        return float(out[0])
+
+    def query_many(self, sources, targets) -> np.ndarray:
+        """Vectorized batched distances for pairs ``(sources[k], targets[k])``.
+
+        The whole batch is evaluated with a handful of numpy passes:
+
+        1. cross-component pairs short-circuit to ``inf``;
+        2. the remaining pairs' labels are gathered CSR-style into flat
+           arrays tagged ``pair_id * n + hub_position`` — sorted by
+           construction, since each label's hub positions ascend;
+        3. one ``searchsorted`` merge intersects source-side and
+           target-side keys (probing the smaller side into the larger);
+        4. ``np.minimum.reduceat`` takes the per-pair minimum of
+           ``d(u→h) + d(h→v)`` over the intersection.
+
+        Unreachable same-component (directed) pairs fall out naturally
+        as an empty or all-``inf`` intersection.  Answers match the
+        published epoch matrix to within float-addition rounding.
+        """
+        sources = np.asarray(sources, dtype=np.int64).ravel()
+        targets = np.asarray(targets, dtype=np.int64).ravel()
+        if sources.shape != targets.shape:
+            raise ValueError("sources and targets must have the same length")
+        self._check_ids(sources)
+        self._check_ids(targets)
+        out = np.full(sources.shape[0], np.inf)
+        same = self.comp[sources] == self.comp[targets]
+        if not same.any():
+            return out
+        pair_ids = np.flatnonzero(same)
+        srcs = sources[pair_ids]
+        tgts = targets[pair_ids]
+
+        key_s, d_s, pid_s = self._gather(srcs, self.dto)
+        key_t, d_t, pid_t = self._gather(tgts, self.dfrom)
+        # Probe the smaller flat side into the larger: cost is
+        # |small| · log |large|.
+        if key_s.shape[0] <= key_t.shape[0]:
+            sums, pids = self._join(key_s, d_s, pid_s, key_t, d_t)
+        else:
+            sums, pids = self._join(key_t, d_t, pid_t, key_s, d_s)
+        if sums.shape[0]:
+            starts = np.flatnonzero(
+                np.r_[True, pids[1:] != pids[:-1]]
+            )
+            mins = np.minimum.reduceat(sums, starts)
+            out[pair_ids[pids[starts]]] = mins
+        return out
+
+    def _gather(self, verts: np.ndarray, dvals: np.ndarray):
+        """Flatten the labels of ``verts`` with per-entry pair tags.
+
+        Returns ``(keys, dists, pair_index)`` where
+        ``keys = pair_index * n + hub_position`` is globally ascending.
+        """
+        starts = self.ptr[verts]
+        counts = self.ptr[verts + 1] - starts
+        total = int(counts.sum())
+        pair_index = np.repeat(
+            np.arange(verts.shape[0], dtype=np.int64), counts
+        )
+        flat = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(np.cumsum(counts) - counts, counts)
+            + np.repeat(starts, counts)
+        )
+        keys = pair_index * np.int64(self.n) + self.hubs[flat]
+        return keys, dvals[flat], pair_index
+
+    @staticmethod
+    def _join(key_a, d_a, pid_a, key_b, d_b):
+        """Sorted-merge intersection of two keyed label streams.
+
+        Probes ``key_a`` into ``key_b`` (both ascending); returns the
+        matched ``d_a + d_b`` sums and their pair indexes, still grouped
+        by pair.  Min-plus is commutative, so which side probes does not
+        change the answer.
+        """
+        loc = np.searchsorted(key_b, key_a)
+        inb = loc < key_b.shape[0]
+        loc_c = np.where(inb, loc, 0)
+        hit = inb & (key_b[loc_c] == key_a)
+        return d_a[hit] + d_b[loc_c[hit]], pid_a[hit]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HubLabelIndex(n={self.n}, entries={self.entries}, "
+            f"shards={self.ncomp}, epoch={self.epoch_index})"
+        )

@@ -191,3 +191,52 @@ def test_auto_prints_attempt_trail_under_faults(capsys):
     # The winning backend is reported, plus the per-attempt trail.
     assert "method: superfw" in out
     assert "attempt: superfw -> ok" in out
+
+
+def test_query_requires_pairs_or_random():
+    with pytest.raises(SystemExit):
+        main(["query", "--generate", "grid2d:6"])
+
+
+def test_query_random_verify(capsys):
+    assert main(
+        ["query", "--generate", "grid2d:6", "--random", "200", "--verify"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "200 random queries" in out
+    assert "queries/s" in out
+    assert "verified 200 queries against the full matrix: OK" in out
+
+
+def test_query_stats_and_directed(capsys):
+    assert main(
+        ["query", "0:9", "--generate", "erdos_renyi:40", "--directed",
+         "--random", "50", "--verify", "--stats"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "dist(0, 9)" in out
+    assert "result_cache" in out
+    assert ": OK" in out
+
+
+def test_query_dpc_path(capsys):
+    assert main(
+        ["query", "0:35", "--generate", "grid2d:6", "--dpc", "--verify"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "factorized" in out
+    assert "dist(0, 35)" in out
+    assert ": OK" in out
+
+
+def test_query_dpc_and_server_agree(capsys):
+    main(["query", "0:35", "--generate", "grid2d:6", "--seed", "2"])
+    server_out = capsys.readouterr().out
+    main(["query", "0:35", "--generate", "grid2d:6", "--seed", "2", "--dpc"])
+    dpc_out = capsys.readouterr().out
+    import re
+
+    pat = r"dist\(0, 35\) = ([\d.]+)"
+    a = float(re.search(pat, server_out).group(1))
+    b = float(re.search(pat, dpc_out).group(1))
+    assert abs(a - b) < 1e-9

@@ -1,0 +1,336 @@
+"""Serving tier: hub-label index + DistanceServer (read path)."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.superfw import superfw
+from repro.graphs import generators
+from repro.graphs.digraph import DiGraph, orient_randomly
+from repro.graphs.graph import Graph
+from repro.obs import Tracer, use_tracer
+from repro.plan import APSPSession, PlanCache
+from repro.resilience.errors import StaleEpochError, UnreachablePairError
+from repro.serve import DistanceServer, HubLabelIndex
+
+from conftest import scipy_apsp
+
+
+def _all_pairs(server, n):
+    src, dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return server.query_many(src.ravel(), dst.ravel()).reshape(n, n)
+
+
+def _assert_matches(got, ref):
+    assert np.array_equal(np.isinf(got), np.isinf(ref))
+    finite = np.isfinite(ref)
+    assert np.allclose(got[finite], ref[finite])
+
+
+# ----------------------------------------------------------------------
+# Correctness against the full matrix.
+# ----------------------------------------------------------------------
+def test_all_pairs_matches_oracle(any_graph):
+    with DistanceServer(any_graph) as server:
+        _assert_matches(_all_pairs(server, any_graph.n), scipy_apsp(any_graph))
+
+
+def test_directed_queries_match_full_matrix():
+    dg = orient_randomly(generators.erdos_renyi(80, avg_degree=3.5, seed=5),
+                         seed=1)
+    ref = superfw(dg, seed=0).dist
+    with DistanceServer(dg) as server:
+        _assert_matches(_all_pairs(server, dg.n), np.asarray(ref))
+
+
+def test_directed_negative_arcs():
+    rng = np.random.default_rng(3)
+    arcs = [
+        (int(u), int(v), float(rng.uniform(0.1, 2)))
+        for u, v in rng.integers(0, 50, (180, 2))
+        if u != v
+    ]
+    h = rng.uniform(0, 3, 50)
+    dg = DiGraph.from_edges(50, [(u, v, w + h[u] - h[v]) for u, v, w in arcs])
+    ref = superfw(dg, seed=0).dist
+    with DistanceServer(dg) as server:
+        _assert_matches(_all_pairs(server, dg.n), np.asarray(ref))
+
+
+def test_batched_equals_scalar(mesh_graph):
+    server = DistanceServer(mesh_graph)
+    rng = np.random.default_rng(0)
+    src = rng.integers(0, mesh_graph.n, 200)
+    dst = rng.integers(0, mesh_graph.n, 200)
+    batched = server.query_many(src, dst)
+    scalars = np.array([server.query(int(i), int(j)) for i, j in zip(src, dst)])
+    assert np.array_equal(batched, scalars)
+
+
+def test_self_distance_zero(grid_graph):
+    with DistanceServer(grid_graph) as server:
+        assert server.query(5, 5) == 0.0
+
+
+def test_vertex_ids_validated(grid_graph):
+    server = DistanceServer(grid_graph)
+    with pytest.raises(ValueError):
+        server.query(0, grid_graph.n)
+    with pytest.raises(ValueError):
+        server.query_many([-1], [0])
+
+
+# ----------------------------------------------------------------------
+# Disconnected pairs and sharding.
+# ----------------------------------------------------------------------
+def test_disconnected_pairs_inf_not_raise():
+    g = Graph.from_edges(6, [(0, 1, 1.0), (1, 2, 2.0), (3, 4, 1.5)])
+    server = DistanceServer(g)
+    assert np.isinf(server.query(0, 3))
+    assert np.isinf(server.query(5, 0))
+    assert server.query(5, 5) == 0.0
+    out = server.query_many([0, 0, 3], [2, 4, 4])
+    assert out[0] == pytest.approx(3.0)
+    assert np.isinf(out[1])
+    assert out[2] == pytest.approx(1.5)
+    assert server.unreachable >= 2
+    assert server.cross_shard >= 1
+
+
+def test_shards_follow_components():
+    g = Graph.from_edges(7, [(0, 1, 1.0), (2, 3, 1.0), (4, 5, 1.0)])
+    server = DistanceServer(g)
+    index = server.refresh()
+    assert index.ncomp == 4  # three edges' components + isolated vertex 6
+    stats = index.shard_stats()
+    assert sum(s["vertices"] for s in stats) == 7
+    assert sum(s["entries"] for s in stats) == index.entries
+    # Labels never cross a shard: every hub shares its vertex's component.
+    for v in range(7):
+        hubs = index.hubs[index.ptr[v]:index.ptr[v + 1]]
+        assert (index.comp[index.perm[hubs]] == index.comp[v]).all()
+
+
+def test_strict_unreachable_raises():
+    g = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    server = DistanceServer(g, strict=True)
+    assert server.query(0, 1) == pytest.approx(1.0)
+    with pytest.raises(UnreachablePairError) as err:
+        server.query(0, 2)
+    assert err.value.source == 0 and err.value.target == 2
+    with pytest.raises(UnreachablePairError):
+        server.query_many([0, 0], [1, 3])
+
+
+# ----------------------------------------------------------------------
+# Epoch lifecycle: commits invalidate index + result cache.
+# ----------------------------------------------------------------------
+def test_commit_invalidates_index_and_cache(grid_graph):
+    session = APSPSession(grid_graph, seed=0)
+    server = DistanceServer(session)
+    n = grid_graph.n
+    before = _all_pairs(server, n)
+    _assert_matches(before, scipy_apsp(grid_graph))
+    cached = server.query(0, n - 1)  # populate the result cache
+    assert cached == pytest.approx(before[0, n - 1])
+
+    edges = session.graph.edge_array()
+    u, v, w = int(edges[0][0]), int(edges[0][1]), float(edges[0][2])
+    session.apply_updates([(u, v, w * 0.01)])
+    info = session.commit()
+    assert info.decision in ("fold", "resolve")
+
+    after = _all_pairs(server, n)
+    ref = superfw(session.graph, seed=0).dist
+    _assert_matches(after, np.asarray(ref))
+    assert server.query(0, n - 1) == pytest.approx(float(ref[0, n - 1]))
+    assert server.rebuilds == 1
+    assert server.refresh().epoch_index == session.epoch.index
+
+
+def test_structural_commit_rebuilds_through_resolve(grid_graph):
+    session = APSPSession(grid_graph, seed=0)
+    server = DistanceServer(session)
+    server.query(0, 1)
+    # Insert a brand-new edge: the fold publishes an epoch but drops the
+    # plan; the server's rebuild must trigger the lazy re-analysis.
+    session.apply_updates([(0, grid_graph.n - 1, 0.05)])
+    session.commit()
+    ref = superfw(session.graph, seed=0).dist
+    _assert_matches(_all_pairs(server, grid_graph.n), np.asarray(ref))
+
+
+def test_result_cache_hits_and_eviction(grid_graph):
+    server = DistanceServer(grid_graph, result_cache_size=4)
+    for _ in range(3):
+        server.query(0, 5)
+    assert server.cache_hits == 2
+    for j in range(1, 6):  # 5 distinct pairs through a 4-slot cache
+        server.query(0, j)
+    assert server.cache_evictions >= 1
+    stats = server.stats()["result_cache"]
+    assert stats["entries"] <= 4
+
+
+def test_plan_cache_warms_second_build(grid_graph):
+    cache = PlanCache()
+    first = DistanceServer(grid_graph, cache=cache)
+    first.refresh()
+    second = DistanceServer(grid_graph, cache=cache)
+    second.refresh()
+    assert cache.hits >= 1
+    _assert_matches(_all_pairs(second, grid_graph.n), scipy_apsp(grid_graph))
+
+
+# ----------------------------------------------------------------------
+# Stale-epoch policies.
+# ----------------------------------------------------------------------
+def _make_stale(session):
+    """Fabricate the degraded-commit state: graph weights moved past the
+    published epoch without a successful re-solve."""
+    session.epoch  # force a publish
+    session.graph = session.graph.with_weights(session.graph.weights * 2.0)
+    assert session.stale
+
+
+def test_stale_policy_serve_counts(grid_graph):
+    session = APSPSession(grid_graph, seed=0)
+    server = DistanceServer(session)
+    baseline = server.query(0, 1)
+    _make_stale(session)
+    # Same epoch, same (stale-but-consistent) answer; occurrences counted.
+    assert server.query(0, 1) == pytest.approx(baseline)
+    assert server.stale_serves >= 1
+
+
+def test_stale_policy_raise(grid_graph):
+    session = APSPSession(grid_graph, seed=0)
+    server = DistanceServer(session, stale_policy="raise")
+    server.query(0, 1)
+    _make_stale(session)
+    with pytest.raises(StaleEpochError) as err:
+        server.query(0, 1)
+    assert err.value.epoch_index == session.epoch.index
+    with pytest.raises(StaleEpochError):
+        server.query_many([0], [1])
+    # A successful solve heals the session; serving resumes.
+    session.solve()
+    assert np.isfinite(server.query(0, 1))
+
+
+def test_stale_policy_validated(grid_graph):
+    with pytest.raises(ValueError):
+        DistanceServer(grid_graph, stale_policy="panic")
+
+
+# ----------------------------------------------------------------------
+# Async micro-batching.
+# ----------------------------------------------------------------------
+def test_aquery_matches_matrix(grid_graph):
+    server = DistanceServer(grid_graph)
+    ref = scipy_apsp(grid_graph)
+    pairs = [(i, j) for i in range(10) for j in range(10)]
+
+    async def main():
+        return await asyncio.gather(
+            *(server.aquery(i, j) for i, j in pairs)
+        )
+
+    values = asyncio.run(main())
+    assert np.allclose(values, [ref[i, j] for i, j in pairs])
+    # Concurrent awaiters coalesced into far fewer vectorized batches.
+    assert server.batches < len(pairs)
+
+
+def test_aquery_max_batch_flushes_immediately(grid_graph):
+    server = DistanceServer(grid_graph, max_batch=8, batch_window=60.0)
+    ref = scipy_apsp(grid_graph)
+
+    async def main():
+        # 16 concurrent requests with an hour-long window: only the
+        # max_batch trigger can flush them.
+        return await asyncio.gather(
+            *(server.aquery(0, j) for j in range(16))
+        )
+
+    values = asyncio.run(main())
+    assert np.allclose(values, [ref[0, j] for j in range(16)])
+    assert server.batches == 2
+
+
+def test_aquery_strict_propagates_errors():
+    g = Graph.from_edges(4, [(0, 1, 1.0), (2, 3, 1.0)])
+    server = DistanceServer(g, strict=True)
+
+    async def main():
+        return await asyncio.gather(
+            server.aquery(0, 1), server.aquery(0, 2),
+            return_exceptions=True,
+        )
+
+    results = asyncio.run(main())
+    # The whole coalesced batch fails with the typed error.
+    assert all(isinstance(r, UnreachablePairError) for r in results)
+
+
+def test_closed_server_rejects_queries(grid_graph):
+    server = DistanceServer(grid_graph)
+    server.query(0, 1)
+    server.close()
+    with pytest.raises(RuntimeError):
+        server.query(0, 1)
+    server.close()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Index internals and observability.
+# ----------------------------------------------------------------------
+def test_labels_sorted_and_bounded(mesh_graph):
+    index = HubLabelIndex.build(APSPSession(mesh_graph, seed=0))
+    sizes = index.label_sizes()
+    assert sizes.min() >= 1
+    assert sizes.max() <= mesh_graph.n
+    iperm = np.empty(mesh_graph.n, dtype=np.int64)
+    iperm[index.perm] = np.arange(mesh_graph.n)
+    for v in range(mesh_graph.n):
+        lo, hi = int(index.ptr[v]), int(index.ptr[v + 1])
+        hubs = index.hubs[lo:hi]
+        assert (np.diff(hubs) > 0).all()  # strictly ascending per label
+        # Every vertex is its own first hub at distance 0.
+        assert hubs[0] == iperm[v]
+        assert index.dto[lo] == 0.0 and index.dfrom[lo] == 0.0
+    assert index.entries == int(sizes.sum())
+    assert index.memory_bytes() > 0
+
+
+def test_index_is_immutable(grid_graph):
+    index = HubLabelIndex.build(APSPSession(grid_graph, seed=0))
+    with pytest.raises(ValueError):
+        index.hubs[0] = 1
+    with pytest.raises(ValueError):
+        index.dto[0] = 0.0
+
+
+def test_serving_emits_spans_and_metrics(grid_graph):
+    tracer = Tracer()
+    with use_tracer(tracer):
+        server = DistanceServer(grid_graph)
+        server.query_many([0, 1], [2, 3])
+    names = {event.name for event in tracer.events()}
+    assert "hub-index-build" in names
+    assert "serve-batch" in names
+    counters = tracer.metrics.snapshot()["counters"]
+    assert counters["serve.index_builds"] == 1
+    assert counters["serve.queries"] == 2
+    assert counters["serve.batches"] == 1
+
+
+def test_server_stats_shape(grid_graph):
+    server = DistanceServer(grid_graph)
+    server.query(0, 1)
+    stats = server.stats()
+    assert stats["queries"] == 1
+    assert stats["index"]["shards"] == 1
+    assert stats["index"]["entries"] > 0
+    assert stats["result_cache"]["misses"] == 1

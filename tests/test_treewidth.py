@@ -114,3 +114,73 @@ def test_prebuilt_ordering_accepted(mesh_graph):
     nd = nested_dissection(mesh_graph, seed=0)
     tw = TreewidthAPSP(mesh_graph, ordering=nd.ordering)
     assert np.allclose(tw.all_pairs(), scipy_apsp(mesh_graph))
+
+
+def test_diagonal_consults_factor():
+    """query(i, i) reads the factor diagonal, matching superfw entry-for-entry.
+
+    Regression: a hardcoded 0.0 short-circuit would silently diverge from
+    the full-matrix solvers' diagonal semantics (min over the empty path
+    and every cycle through i) instead of sharing them.
+    """
+    rng = np.random.default_rng(4)
+    arcs = [
+        (int(u), int(v), float(rng.uniform(0.1, 2)))
+        for u, v in rng.integers(0, 40, (160, 2))
+        if u != v
+    ]
+    dg = DiGraph.from_edges(40, arcs)
+    tw = TreewidthAPSP(dg, seed=0)
+    ref = superfw(dg, seed=0).dist
+    for i in range(40):
+        assert tw.query(i, i) == pytest.approx(float(ref[i, i]))
+        # And the same value the factor itself holds on its diagonal.
+        pi = int(tw.iperm[i])
+        assert tw.query(i, i) == float(tw._w[pi, pi])
+
+
+def test_cached_label_directions_do_not_alias(grid_graph):
+    """Regression: on undirected graphs the cached to/from labels must be
+    independent dicts — mutating one through its handle must not corrupt
+    the other query direction."""
+    tw = TreewidthAPSP(grid_graph, seed=0)
+    i, j = 0, grid_graph.n - 1
+    before = tw.query(i, j)
+    pi = int(tw.iperm[i])
+    lab_to, lab_from = tw._labels_of(pi)
+    assert lab_to is not lab_from
+    assert lab_to == lab_from
+    # Poison one direction in place; the other must be unaffected.
+    for h in lab_to:
+        lab_to[h] = -1e9
+    _, lab_from_again = tw._labels_of(pi)
+    assert all(v != -1e9 for v in lab_from_again.values())
+    # Reverse-direction queries still answer from the clean labels.
+    assert tw.query(j, i) == pytest.approx(before)
+
+
+def test_label_cache_lru_eviction(mesh_graph):
+    """The lazy label caches stay bounded under random query load."""
+    cap = 8
+    tw = TreewidthAPSP(mesh_graph, seed=0, label_cache_size=cap)
+    oracle = scipy_apsp(mesh_graph)
+    rng = np.random.default_rng(1)
+    for _ in range(200):
+        i, j = (int(x) for x in rng.integers(0, mesh_graph.n, 2))
+        assert tw.query(i, j) == pytest.approx(oracle[i, j])
+    assert len(tw._to_anc) <= cap
+    assert len(tw._from_anc) <= cap
+    assert set(tw._to_anc) == set(tw._from_anc)
+    assert tw.label_evictions > 0
+    # Recency: the hot vertex survives a sweep of cold ones.
+    hot = int(tw.iperm[0])
+    tw.query(0, 1)
+    victims = [v for v in range(mesh_graph.n) if int(tw.iperm[v]) != hot]
+    for v in victims[: cap - 1]:
+        tw.query(v, 0)  # touches v's labels (and re-touches 0's)
+    assert hot in tw._to_anc
+
+
+def test_label_cache_size_validated(grid_graph):
+    with pytest.raises(ValueError):
+        TreewidthAPSP(grid_graph, label_cache_size=0)
