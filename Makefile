@@ -3,7 +3,7 @@
 PYTHON ?= python
 SIZE   ?= 0.5
 
-.PHONY: install test faults chaos bench bench-engine bench-plan bench-obs bench-resilience bench-dynamic bench-query trace docs-check experiments examples clean all
+.PHONY: install test faults chaos bench bench-engine bench-plan bench-obs bench-resilience bench-dynamic bench-query bench-ordering trace docs-check experiments examples clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -52,6 +52,11 @@ bench-dynamic:
 # exactness vs the full matrix incl. after a commit -> BENCH_query.json.
 bench-query:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_query.py --check
+
+# Reduction + ordering-autoselect ablation: |S|/fill/cold-time deltas for
+# {none, reduce+nd, reduce+amd, auto} -> BENCH_ordering.json.
+bench-ordering:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_ablation_ordering.py --check
 
 # One traced process-backend solve -> trace.json (open in ui.perfetto.dev).
 trace:

@@ -3,10 +3,19 @@
 
 Walks every subparser of ``repro.cli.build_parser()``, extracts its
 flags from the real ``--help`` text, and fails if any subcommand name
-or flag is missing from README.md (the CLI section's flag table).  Run
-via ``make docs-check``; CI runs it in the trace-smoke job.
+or flag is missing from README.md (the CLI section's flag table).
+
+Additionally executes every fenced python block in docs/ORDERING.md
+(doctest format, one shared namespace — the same contract
+tests/test_tutorial.py applies to the tutorial): the playbook quotes
+concrete |S| / fill-in / elimination numbers, and each quote is an
+assertion against a fresh analyze run, so a reducer or autoselector
+change that shifts them fails this gate instead of silently rotting
+the doc.  Run via ``make docs-check``; CI runs it in the trace-smoke
+job.
 """
 
+import doctest
 import re
 import sys
 from pathlib import Path
@@ -32,6 +41,27 @@ def cli_surface():
     return surface
 
 
+def run_ordering_snippets():
+    """Execute docs/ORDERING.md's python blocks; return failure messages."""
+    path = ROOT / "docs" / "ORDERING.md"
+    text = path.read_text()
+    blocks = re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+    if len(blocks) < 4:
+        return [f"docs/ORDERING.md lost its code blocks ({len(blocks)} found)"]
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest("\n".join(blocks), {}, path.name, str(path), 0)
+    runner = doctest.DocTestRunner(
+        optionflags=doctest.NORMALIZE_WHITESPACE
+    )
+    runner.run(test)
+    if runner.failures:
+        return [
+            f"docs/ORDERING.md: {runner.failures} snippet(s) no longer "
+            f"match a fresh run (see doctest output above)"
+        ]
+    return []
+
+
 def main():
     readme = (ROOT / "README.md").read_text()
     missing = []
@@ -41,13 +71,15 @@ def main():
         for flag in flags:
             if f"`{flag}" not in readme and f"{flag} " not in readme:
                 missing.append(f"{name}: flag `{flag}` missing from README.md")
+    missing.extend(run_ordering_snippets())
     if missing:
-        print("README.md has drifted from the CLI --help surface:")
+        print("docs have drifted:")
         for line in missing:
             print(f"  - {line}")
         return 1
     total = sum(len(f) for f in cli_surface().values())
-    print(f"docs-check: README covers all subcommands and {total} flags. OK")
+    print(f"docs-check: README covers all subcommands and {total} flags; "
+          f"ORDERING.md snippets match a fresh run. OK")
     return 0
 
 

@@ -173,8 +173,14 @@ def _solver_options(args) -> dict:
     from repro.semiring.engine import SemiringGemmEngine
 
     options = {}
+    if getattr(args, "reduce", False):
+        # Passed through unconditionally so reduce-unaware methods get the
+        # typed guard error instead of a silently ignored flag.
+        options["reduce"] = True
     if args.method in ("superfw", "superbfs", "parallel-superfw", "auto"):
         options["seed"] = args.seed
+        if getattr(args, "ordering", None) is not None:
+            options["ordering"] = args.ordering
     engine_methods = (
         "superfw", "superbfs", "parallel-superfw", "blocked-fw", "auto"
     )
@@ -253,6 +259,7 @@ def _cmd_plan(args) -> int:
         ordering=args.ordering,
         leaf_size=args.leaf_size,
         seed=args.seed,
+        reduce=args.reduce,
     )
     print(f"analyzed n={graph.n} in "
           f"{plan.preprocessing_seconds() * 1e3:.1f} ms")
@@ -616,6 +623,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.add_argument("--out", help="write the distance matrix (.npy)")
     solve.add_argument(
+        "--reduce",
+        action="store_true",
+        help="contract the graph with exact weight-independent reductions "
+        "before ordering (SuperFW-family methods; see docs/ORDERING.md)",
+    )
+    solve.add_argument(
+        "--ordering",
+        default=None,
+        choices=["nd", "bfs", "natural", "amd", "auto"],
+        help="fill-reducing ordering for the analyze phase; 'auto' scores "
+        "nd vs amd from the symbolic structure and keeps the cheaper one",
+    )
+    solve.add_argument(
         "--engine",
         default="auto",
         choices=["auto", "rank1", "ktiled", "outtiled"],
@@ -750,6 +770,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="backend to trace (default: parallel-superfw for a level timeline)",
     )
     trace.add_argument(
+        "--reduce",
+        action="store_true",
+        help="contract the graph with exact weight-independent reductions "
+        "before ordering (SuperFW-family methods; see docs/ORDERING.md)",
+    )
+    trace.add_argument(
+        "--ordering",
+        default=None,
+        choices=["nd", "bfs", "natural", "amd", "auto"],
+        help="fill-reducing ordering for the analyze phase; 'auto' scores "
+        "nd vs amd from the symbolic structure and keeps the cheaper one",
+    )
+    trace.add_argument(
         "--engine",
         default="auto",
         choices=["auto", "rank1", "ktiled", "outtiled"],
@@ -798,8 +831,15 @@ def build_parser() -> argparse.ArgumentParser:
     planp.add_argument(
         "--ordering",
         default="nd",
-        choices=["nd", "bfs", "natural"],
-        help="fill-reducing ordering for the analysis",
+        choices=["nd", "bfs", "natural", "amd", "auto"],
+        help="fill-reducing ordering for the analysis ('auto' scores nd "
+        "vs amd and keeps the modeled-cheaper one)",
+    )
+    planp.add_argument(
+        "--reduce",
+        action="store_true",
+        help="apply exact weight-independent reductions before ordering; "
+        "the trail is stored in the plan",
     )
     planp.add_argument("--leaf-size", type=int, default=32)
     planp.set_defaults(func=_cmd_plan)

@@ -148,6 +148,13 @@ _PLAN_AWARE = frozenset(
     {"auto", "superfw", "superbfs", "parallel-superfw", "blocked-fw"}
 )
 
+#: Methods whose plan can carry a reduction trail (``reduce=True``).
+#: ``blocked-fw`` consumes a plan but tiles the full matrix, so it is
+#: deliberately excluded.
+_REDUCE_AWARE = frozenset(
+    {"auto", "superfw", "superbfs", "parallel-superfw"}
+)
+
 
 def apsp(
     graph: Graph,
@@ -156,6 +163,7 @@ def apsp(
     detect_negative_cycles: bool = False,
     budget: SolveBudget | BudgetTracker | float | None = None,
     plan=None,
+    reduce: bool | None = None,
     trace=None,
     **options,
 ) -> APSPResult:
@@ -189,6 +197,14 @@ def apsp(
         verified against ``graph`` — weight changes pass, edge changes
         raise :class:`~repro.resilience.errors.PlanMismatchError`.  For
         repeated solves prefer :class:`~repro.plan.session.APSPSession`.
+    reduce:
+        ``True`` runs the exact weight-independent reductions of
+        :mod:`repro.ordering.reduce` during analysis (degree-0/1/2,
+        twin, simplicial elimination): the sweep solves the contracted
+        graph and the eliminated vertices are reconstituted exactly —
+        the returned distances are bit-identical to an unreduced solve.
+        Plan-consuming SuperFW-family methods only; see
+        ``docs/ORDERING.md``.
     trace:
         Structured-tracing control (see :mod:`repro.obs` and
         ``docs/OBSERVABILITY.md``).  ``True`` records spans into a fresh
@@ -253,6 +269,13 @@ def apsp(
                 f"supported: {sorted(_PLAN_AWARE)}"
             )
         options["plan"] = plan
+    if reduce is not None:
+        if method not in _REDUCE_AWARE:
+            raise ReproError(
+                f"method {method!r} cannot solve through a reduction "
+                f"trail; supported: {sorted(_REDUCE_AWARE)}"
+            )
+        options["reduce"] = bool(reduce)
     from repro.resilience.checkpoint import weights_sha
 
     tracer, trace_path = coerce_tracer(trace)

@@ -267,7 +267,7 @@ class SharedPlanPool:
         self.rebuilds = 0
         self._closed = False
         self._needs_rebuild = False
-        n = plan.n
+        n = plan.n_reduced
         self._shm = shm_registry.create_tracked_segment(
             max(1, n * n * self.dtype.itemsize)
         )
@@ -291,7 +291,7 @@ class SharedPlanPool:
                 self._hb_interval,
                 self._claim_lock,
             )
-        n = self.plan.n
+        n = self.plan.n_reduced
         return ProcessPoolExecutor(
             max_workers=self.num_workers,
             mp_context=get_context("fork"),
@@ -520,8 +520,17 @@ def parallel_superfw(
             float(graph.n) ** 2 * np.float64().itemsize,
             where="parallel-superfw:dist",
         )
+    applied = None
+    solve_graph = graph
+    if plan.trail is not None:
+        # Replay the weight-independent trail on this solve's weights:
+        # the level schedule then runs over the reduced graph, and the
+        # eliminated vertices are reconstituted exactly afterwards.
+        with timings.time("reduce"):
+            applied = plan.trail.apply(graph)
+            solve_graph = applied.graph
     with timings.time("permute"):
-        dist = graph.to_dense_dist()[np.ix_(perm, perm)]
+        dist = solve_graph.to_dense_dist()[np.ix_(perm, perm)]
     ops = OpCounter()
     recovery = {"task_retries": 0, "sequential_reruns": []}
     levels = structure.level_order()
@@ -611,13 +620,17 @@ def parallel_superfw(
                 )
         engine_stats = eng.stats_dict(since=engine_before)
     if semiring is MIN_PLUS and np.any(np.diag(dist) < 0):
-        raise NegativeCycleError(
-            witness=int(perm[int(np.argmin(np.diag(dist)))])
-        )
+        kept = int(perm[int(np.argmin(np.diag(dist)))])
+        if applied is not None:
+            kept = int(applied.trail.kept[kept])
+        raise NegativeCycleError(witness=kept)
     if ckpt is not None and not ckpt.keep:
         ckpt.clear(ckpt_key)
     iperm = invert_permutation(perm)
     out = dist[np.ix_(iperm, iperm)]
+    if applied is not None:
+        with timings.time("unreduce"):
+            out = applied.unreduce(out)
     if tracer.enabled:
         tracer.metrics.merge_ops(ops)
         tracer.metrics.inc("retries.task", recovery["task_retries"])
@@ -643,6 +656,11 @@ def parallel_superfw(
             "checkpointed": ckpt is not None,
             "recovery": recovery,
             "engine": engine_stats,
+            **(
+                {"reduce": plan.trail.stats()}
+                if plan.trail is not None
+                else {}
+            ),
             **({"obs": tracer.meta_snapshot()} if tracer.enabled else {}),
         },
     )

@@ -245,10 +245,19 @@ def superfw(
         tracker.check_allocation(
             float(graph.n) ** 2 * np.dtype(dtype).itemsize, where="superfw:dist"
         )
-    with timings.time("permute"):
-        dist = graph.to_dense_dist(dtype=dtype)[np.ix_(perm, perm)]
+    applied = None
+    solve_graph = graph
+    if plan.trail is not None:
+        # Replay the weight-independent trail on this solve's weights:
+        # the sweep then runs on the reduced graph and the eliminated
+        # vertices are reconstituted exactly after the closure.
+        with timings.time("reduce"):
+            applied = plan.trail.apply(graph)
+            solve_graph = applied.graph
     task_retries = 0
     tracer = get_tracer()
+    with timings.time("permute"):
+        dist = solve_graph.to_dense_dist(dtype=dtype)[np.ix_(perm, perm)]
     with timings.time("solve"), use_engine(engine) as eng, tracer.span(
         "solve", method="superfw", ns=structure.ns
     ):
@@ -286,12 +295,16 @@ def superfw(
             if tracker is not None:
                 tracker.charge(local.total, units=1, where=f"superfw:supernode {s}")
     if semiring is MIN_PLUS and np.any(np.diag(dist) < 0):
-        raise NegativeCycleError(
-            witness=int(perm[int(np.argmin(np.diag(dist)))])
-        )
+        kept = int(perm[int(np.argmin(np.diag(dist)))])
+        if applied is not None:
+            kept = int(applied.trail.kept[kept])
+        raise NegativeCycleError(witness=kept)
     iperm = invert_permutation(perm)
     with timings.time("permute"):
         out = dist[np.ix_(iperm, iperm)]
+    if applied is not None:
+        with timings.time("unreduce"):
+            out = applied.unreduce(out)
     method = "superfw" if plan.ordering.method == "nd" else f"superfw-{plan.ordering.method}"
     if tracer.enabled:
         tracer.metrics.merge_ops(ops)
@@ -309,6 +322,11 @@ def superfw(
             "exact_panels": exact_panels,
             "recovery": {"task_retries": task_retries},
             "engine": eng.stats_dict(since=engine_before),
+            **(
+                {"reduce": plan.trail.stats()}
+                if plan.trail is not None
+                else {}
+            ),
             **({"obs": tracer.meta_snapshot()} if tracer.enabled else {}),
         },
     )

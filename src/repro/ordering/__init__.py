@@ -9,7 +9,7 @@ reverse Cuthill-McKee, and minimum-degree orderings round out the toolbox.
 
 from repro.ordering.base import Ordering
 from repro.ordering.bfs import bfs_ordering, rcm_ordering
-from repro.ordering.amd import minimum_degree_ordering
+from repro.ordering.amd import amd_ordering, minimum_degree_ordering
 from repro.ordering.geometric import geometric_nested_dissection
 from repro.ordering.nested_dissection import (
     NDResult,
@@ -17,17 +17,28 @@ from repro.ordering.nested_dissection import (
     nested_dissection,
 )
 from repro.ordering.partition import bisect_graph
+from repro.ordering.reduce import (
+    AppliedReduction,
+    ReductionTrail,
+    build_trail,
+    reduce_graph,
+)
 from repro.ordering.separator import vertex_separator_from_bisection
 
 __all__ = [
+    "AppliedReduction",
     "NDResult",
     "Ordering",
+    "ReductionTrail",
     "SeparatorNode",
+    "amd_ordering",
     "bfs_ordering",
     "bisect_graph",
+    "build_trail",
     "geometric_nested_dissection",
     "minimum_degree_ordering",
     "nested_dissection",
     "rcm_ordering",
+    "reduce_graph",
     "vertex_separator_from_bisection",
 ]

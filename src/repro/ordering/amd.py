@@ -1,11 +1,15 @@
-"""Minimum-degree ordering.
+"""Minimum-degree orderings: exact (MMD) and approximate (AMD).
 
-A greedy fill-reducing alternative to nested dissection: repeatedly
-eliminate a vertex of minimum degree in the (dynamically filled) quotient
-graph.  Used by the ordering ablation benchmark; for the graph sizes this
-library targets the straightforward set-based elimination graph is fast
-enough, so we implement exact minimum degree rather than AMD's
-approximation.
+Greedy fill-reducing alternatives to nested dissection: repeatedly
+eliminate a vertex of minimum degree in the (dynamically filled)
+quotient graph.  :func:`minimum_degree_ordering` is the exact set-based
+variant used by the ordering ablation benchmark; :func:`amd_ordering`
+is a sequential pure-python approximate minimum degree in the
+Amestoy/Davis/Duff quotient-graph style (elements, absorption, degree
+bounds) — much cheaper on graphs with nontrivial fill, and the
+candidate the ordering autoselector scores against nested dissection
+("Parallelizing the Approximate Minimum Degree Ordering Algorithm",
+Chang/Buluç/Demmel: AMD wins on many non-mesh graphs).
 """
 
 from __future__ import annotations
@@ -54,3 +58,62 @@ def minimum_degree_ordering(graph: Graph, *, seed: int = 0) -> Ordering:
         adj[v].clear()
     assert count == n
     return Ordering(perm=order, method="mmd")
+
+
+def amd_ordering(graph: Graph, *, seed: int = 0) -> Ordering:
+    """Approximate minimum-degree ordering on the quotient graph.
+
+    Follows the element/variable quotient-graph formulation of AMD:
+    eliminating pivot ``p`` forms element ``p`` with variable list
+    ``L_p = A_p ∪ (⋃_{e ∈ E_p} L_e) \\ {p}``, absorbs the elements of
+    ``E_p``, and re-scores every variable in ``L_p`` with the classic
+    upper bound ``d̂(i) = |A_i| + |L_p \\ {i}| + Σ_{e ∈ E_i \\ {p}}
+    |L_e \\ {i}|`` (clamped to the number of remaining variables).
+    Supervariable detection is omitted — the twin rule of
+    :mod:`repro.ordering.reduce` removes indistinguishable vertices
+    before the ordering ever runs.  Ties break by vertex id, so the
+    ordering is deterministic; ``seed`` is accepted for interface
+    uniformity.
+    """
+    del seed
+    n = graph.n
+    A: list[set[int]] = [set(map(int, graph.neighbors(v))) for v in range(n)]
+    E: list[set[int]] = [set() for _ in range(n)]
+    L: dict[int, set[int]] = {}
+    deg = [len(A[v]) for v in range(n)]
+    heap: list[tuple[int, int]] = [(deg[v], v) for v in range(n)]
+    heapq.heapify(heap)
+    eliminated = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    k = 0
+    while k < n:
+        d, p = heapq.heappop(heap)
+        if eliminated[p] or d != deg[p]:
+            continue
+        eliminated[p] = True
+        order[k] = p
+        k += 1
+        # Form element p; absorb the elements it covers.
+        Lp = set(A[p])
+        for e in E[p]:
+            Lp |= L[e]
+            del L[e]
+        Lp.discard(p)
+        absorbed = E[p]
+        L[p] = Lp
+        remaining = n - k
+        for i in Lp:
+            A[i] -= Lp
+            A[i].discard(p)
+            E[i] -= absorbed
+            E[i].add(p)
+        for i in Lp:
+            d_i = len(A[i]) + len(Lp) - 1
+            for e in E[i]:
+                if e != p:
+                    d_i += len(L[e]) - 1
+            deg[i] = min(d_i, max(remaining - 1, 0))
+            heapq.heappush(heap, (deg[i], i))
+        A[p] = set()
+        E[p] = set()
+    return Ordering(perm=order, method="amd")

@@ -1,0 +1,452 @@
+"""Exact graph reductions ahead of ordering (shrink before you solve).
+
+Separator size drives the SuperFW cost ``O(n² |S|)``, and everything the
+analyze phase produces is weight-independent — so contracting the graph
+*before* partitioning is pure win that amortizes across every warm
+solve, epoch commit, and hub-label build ("Engineering Data Reduction
+for Nested Dissection", Ost/Schulz/Strash).
+
+The algebra that makes the rules exact is min-plus Gaussian elimination:
+removing one vertex ``v`` and shortcutting every in-neighbor ×
+out-neighbor pair
+
+    w(x → y)  ⊕=  w(x → v) + w(v → y)
+
+is the tropical Schur complement, which preserves all pairwise distances
+among the surviving vertices *exactly* — for arbitrary (including
+negative) weights, directed or undirected.  The rules below therefore
+only decide **which** vertices are worth eliminating; they read nothing
+but structure, so the recorded :class:`ReductionTrail` is
+weight-independent and can live inside a cached
+:class:`~repro.plan.plan.Plan`:
+
+* **isolated / pendant** (degree 0 / 1) — no fill at all;
+* **chain** (degree 2) — path compression: one shortcut edge per
+  eliminated interior vertex;
+* **simplicial** — the quotient neighborhood is already a clique, so
+  elimination adds no structural fill, only weight improvements;
+* **twin** — two vertices with identical (open or closed) quotient
+  neighborhoods; the duplicate is eliminated.
+
+Per solve, :meth:`ReductionTrail.apply` replays the trail on the real
+weights (building the reduced graph plus the per-event quotient weight
+vectors), and :meth:`AppliedReduction.unreduce` reconstitutes the full
+``n × n`` distance matrix by walking the trail backwards:
+
+    d(v, y) = min_j  w(v → nⱼ) + d(nⱼ, y)        (out-neighbors at
+    d(x, v) = min_i  d(x, nᵢ) + w(nᵢ → v)         elimination time)
+
+Negative cycles surface either as a negative shortcut self-loop during
+:meth:`~ReductionTrail.apply`, as a negative diagonal in the reduced
+solve, or as ``d(v, v) < 0`` during unreduce — all three raise
+:class:`~repro.resilience.errors.NegativeCycleError`, matching the
+unreduced solver's contract.
+
+See ``docs/ORDERING.md`` for worked figures and the full unreduce math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.graph import Graph
+from repro.obs import get_tracer
+from repro.resilience.errors import NegativeCycleError
+
+#: Event kind codes stored in :attr:`ReductionTrail.kinds`.
+ISOLATED, PENDANT, CHAIN, TWIN, SIMPLICIAL = range(5)
+
+#: Human-readable names indexed by kind code.
+KIND_NAMES = ("isolated", "pendant", "chain", "twin", "simplicial")
+
+#: Quotient-degree cap for the fill-producing rules (twin, simplicial).
+#: Pendants and chain interiors are always eliminated regardless.
+DEFAULT_MAX_DEGREE = 8
+
+
+@dataclass
+class ReductionTrail:
+    """Ordered, weight-independent record of eliminated vertices.
+
+    Attributes
+    ----------
+    n:
+        Vertex count of the *original* graph.
+    directed:
+        Whether the trail was built for a :class:`DiGraph`.
+    kinds, verts:
+        Per-event rule code (:data:`KIND_NAMES`) and eliminated vertex
+        (original id), in elimination order.
+    out_nbrs, in_nbrs:
+        Per-event sorted quotient out-/in-neighbor ids at elimination
+        time (equal arrays for undirected graphs).  These are exactly
+        the endpoints of the shortcut arcs the event introduces, and the
+        attachment points unreduce restores distances through.
+    kept:
+        Sorted original ids surviving every event; reduced vertex ``r``
+        is original vertex ``kept[r]``.
+    """
+
+    n: int
+    directed: bool
+    kinds: np.ndarray
+    verts: np.ndarray
+    out_nbrs: list[np.ndarray]
+    in_nbrs: list[np.ndarray]
+    kept: np.ndarray
+
+    # ------------------------------------------------------------------
+    @property
+    def n_events(self) -> int:
+        """Number of eliminated vertices."""
+        return int(self.verts.shape[0])
+
+    @property
+    def n_eliminated(self) -> int:
+        """Alias of :attr:`n_events`."""
+        return self.n_events
+
+    @property
+    def n_reduced(self) -> int:
+        """Vertex count of the reduced graph."""
+        return int(self.kept.shape[0])
+
+    def kind_counts(self) -> dict[str, int]:
+        """``{rule name: eliminations}`` over the whole trail."""
+        out: dict[str, int] = {}
+        for code, name in enumerate(KIND_NAMES):
+            c = int(np.sum(self.kinds == code))
+            if c:
+                out[name] = c
+        return out
+
+    def stats(self) -> dict[str, Any]:
+        """Summary used by ``Plan.describe`` and the score report."""
+        return {
+            "n_full": int(self.n),
+            "n_reduced": self.n_reduced,
+            "eliminated": self.n_events,
+            "by_rule": self.kind_counts(),
+        }
+
+    # ------------------------------------------------------------------
+    def apply(self, graph: Graph | DiGraph) -> "AppliedReduction":
+        """Replay the trail on ``graph``'s weights.
+
+        Returns the reduced graph (same structure the plan's symbolic
+        analysis saw, by construction) plus the per-event quotient
+        weight vectors unreduce needs.  Raises
+        :class:`NegativeCycleError` when a shortcut closes a negative
+        cycle through an eliminated vertex.
+        """
+        if graph.n != self.n or isinstance(graph, DiGraph) != self.directed:
+            raise ValueError(
+                f"trail was built for a different graph "
+                f"(n={self.n}, directed={self.directed})"
+            )
+        tracer = get_tracer()
+        with tracer.span(
+            "ordering.reduce.apply", n=self.n, reduced=self.n_reduced
+        ):
+            rows = np.repeat(
+                np.arange(graph.n, dtype=np.int64), np.diff(graph.indptr)
+            )
+            W: dict[tuple[int, int], float] = dict(
+                zip(
+                    zip(rows.tolist(), graph.indices.tolist()),
+                    graph.weights.tolist(),
+                )
+            )
+            w_out_all: list[np.ndarray] = []
+            w_in_all: list[np.ndarray] = []
+            for e in range(self.n_events):
+                v = int(self.verts[e])
+                outs = [int(y) for y in self.out_nbrs[e]]
+                ins = [int(x) for x in self.in_nbrs[e]]
+                w_out = np.array([W[(v, y)] for y in outs], dtype=np.float64)
+                w_in = np.array([W[(x, v)] for x in ins], dtype=np.float64)
+                w_out_all.append(w_out)
+                w_in_all.append(w_in)
+                for i, x in enumerate(ins):
+                    wx = w_in[i]
+                    for j, y in enumerate(outs):
+                        if x == y:
+                            # Shortcut self-loop x→v→x: a negative one is
+                            # a negative cycle; a nonnegative one can
+                            # never improve a shortest path.
+                            if wx + w_out[j] < 0:
+                                raise NegativeCycleError(witness=v)
+                            continue
+                        cand = wx + w_out[j]
+                        old = W.get((x, y))
+                        if old is None or cand < old:
+                            W[(x, y)] = cand
+            keep_mask = np.zeros(self.n, dtype=bool)
+            keep_mask[self.kept] = True
+            red_of = np.full(self.n, -1, dtype=np.int64)
+            red_of[self.kept] = np.arange(self.n_reduced, dtype=np.int64)
+            if self.directed:
+                arcs = [
+                    (red_of[u], red_of[v], w)
+                    for (u, v), w in W.items()
+                    if keep_mask[u] and keep_mask[v]
+                ]
+                reduced: Graph | DiGraph = DiGraph.from_edges(
+                    self.n_reduced,
+                    np.asarray(arcs, dtype=np.float64).reshape(-1, 3),
+                )
+            else:
+                edges = [
+                    (red_of[u], red_of[v], w)
+                    for (u, v), w in W.items()
+                    if u < v and keep_mask[u] and keep_mask[v]
+                ]
+                reduced = Graph.from_edges(
+                    self.n_reduced,
+                    np.asarray(edges, dtype=np.float64).reshape(-1, 3),
+                )
+        if tracer.enabled:
+            tracer.metric_inc("ordering.reduce.applies")
+        return AppliedReduction(
+            trail=self, graph=reduced, w_out=w_out_all, w_in=w_in_all
+        )
+
+    # ------------------------------------------------------------------
+    # Flat-array (de)serialization used by Plan.save / Plan.load.
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flat int arrays for npz round-tripping."""
+        from repro.plan.plan import _pack_ragged
+
+        out_concat, out_ptr = _pack_ragged(self.out_nbrs)
+        in_concat, in_ptr = _pack_ragged(self.in_nbrs)
+        return {
+            "trail_kinds": np.asarray(self.kinds, dtype=np.int64),
+            "trail_verts": np.asarray(self.verts, dtype=np.int64),
+            "trail_out_concat": out_concat,
+            "trail_out_ptr": out_ptr,
+            "trail_in_concat": in_concat,
+            "trail_in_ptr": in_ptr,
+            "trail_kept": np.asarray(self.kept, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, data, *, n: int, directed: bool
+    ) -> "ReductionTrail":
+        """Inverse of :meth:`to_arrays` (``data`` is a loaded npz)."""
+        from repro.plan.plan import _unpack_ragged
+
+        return cls(
+            n=int(n),
+            directed=bool(directed),
+            kinds=np.asarray(data["trail_kinds"], dtype=np.int64),
+            verts=np.asarray(data["trail_verts"], dtype=np.int64),
+            out_nbrs=_unpack_ragged(
+                data["trail_out_concat"], data["trail_out_ptr"]
+            ),
+            in_nbrs=_unpack_ragged(
+                data["trail_in_concat"], data["trail_in_ptr"]
+            ),
+            kept=np.asarray(data["trail_kept"], dtype=np.int64),
+        )
+
+
+@dataclass
+class AppliedReduction:
+    """One trail replayed on concrete weights: reduced graph + unreduce data."""
+
+    trail: ReductionTrail
+    graph: Graph | DiGraph
+    w_out: list[np.ndarray]
+    w_in: list[np.ndarray]
+
+    def unreduce(self, reduced_dist: np.ndarray) -> np.ndarray:
+        """Exact full-``n`` distance matrix from the reduced solve.
+
+        Walks the trail backwards; when vertex ``v`` is restored, every
+        quotient neighbor it had at elimination time is already present,
+        so one vectorized min-plus row/column product per event suffices.
+        ``d(v, v) < 0`` after restoration means a negative cycle through
+        ``v`` and raises :class:`NegativeCycleError`.
+        """
+        t = self.trail
+        tracer = get_tracer()
+        with tracer.span("ordering.reduce.unreduce", n=t.n):
+            full = np.full((t.n, t.n), np.inf, dtype=reduced_dist.dtype)
+            full[np.ix_(t.kept, t.kept)] = reduced_dist
+            for e in range(t.n_events - 1, -1, -1):
+                v = int(t.verts[e])
+                outs = t.out_nbrs[e]
+                ins = t.in_nbrs[e]
+                if outs.size:
+                    full[v, :] = np.min(
+                        self.w_out[e][:, None] + full[outs, :], axis=0
+                    )
+                if ins.size:
+                    full[:, v] = np.min(
+                        full[:, ins] + self.w_in[e][None, :], axis=1
+                    )
+                if full[v, v] < 0:
+                    raise NegativeCycleError(witness=v)
+                full[v, v] = 0.0
+        return full
+
+
+def build_trail(
+    graph: Graph | DiGraph,
+    *,
+    max_degree: int = DEFAULT_MAX_DEGREE,
+    min_kept: int = 1,
+) -> ReductionTrail:
+    """Run the structural reduction rules to a fixpoint.
+
+    Reads only the adjacency structure (never weights), so the result is
+    valid for every reweighting of ``graph``.  Rules fire in rounds —
+    low-degree/simplicial sweep, then a twin sweep — until a full round
+    eliminates nothing; ties always resolve to the smallest vertex id,
+    so the trail is deterministic.  At least ``min_kept`` vertices
+    survive (the solver needs a nonempty reduced graph).
+    """
+    directed = isinstance(graph, DiGraph)
+    n = graph.n
+    tracer = get_tracer()
+    with tracer.span("ordering.reduce.build", n=n):
+        out_adj: list[set[int]] = [
+            set(map(int, graph.neighbors(v))) for v in range(n)
+        ]
+        if directed:
+            in_adj: list[set[int]] = [set() for _ in range(n)]
+            for v in range(n):
+                for u in out_adj[v]:
+                    in_adj[u].add(v)
+        else:
+            in_adj = out_adj  # aliased: undirected mutations stay symmetric
+        alive = np.ones(n, dtype=bool)
+        alive_count = n
+        kinds: list[int] = []
+        verts: list[int] = []
+        out_lists: list[np.ndarray] = []
+        in_lists: list[np.ndarray] = []
+
+        def eliminate(v: int, kind: int) -> None:
+            nonlocal alive_count
+            outs = sorted(out_adj[v])
+            ins = sorted(in_adj[v])
+            kinds.append(kind)
+            verts.append(v)
+            out_lists.append(np.asarray(outs, dtype=np.int64))
+            in_lists.append(np.asarray(ins, dtype=np.int64))
+            for x in ins:
+                out_adj[x].discard(v)
+            for y in outs:
+                in_adj[y].discard(v)
+            for x in ins:
+                ox = out_adj[x]
+                for y in outs:
+                    if x != y:
+                        ox.add(y)
+                        in_adj[y].add(x)
+            out_adj[v].clear()
+            in_adj[v].clear()
+            alive[v] = False
+            alive_count -= 1
+
+        def union_degree(v: int) -> int:
+            if directed:
+                return len(out_adj[v] | in_adj[v])
+            return len(out_adj[v])
+
+        def is_simplicial(v: int) -> bool:
+            for x in in_adj[v]:
+                ox = out_adj[x]
+                for y in out_adj[v]:
+                    if y != x and y not in ox:
+                        return False
+            return True
+
+        def twin_key(v: int, closed: bool):
+            if closed:
+                return (
+                    tuple(sorted(out_adj[v] | {v})),
+                    tuple(sorted(in_adj[v] | {v})),
+                )
+            return tuple(sorted(out_adj[v])), tuple(sorted(in_adj[v]))
+
+        changed = True
+        while changed and alive_count > min_kept:
+            changed = False
+            for v in range(n):
+                if alive_count <= min_kept:
+                    break
+                if not alive[v]:
+                    continue
+                d = union_degree(v)
+                if d == 0:
+                    eliminate(v, ISOLATED)
+                elif d == 1:
+                    eliminate(v, PENDANT)
+                elif d == 2:
+                    eliminate(v, CHAIN)
+                elif d <= max_degree and is_simplicial(v):
+                    eliminate(v, SIMPLICIAL)
+                else:
+                    continue
+                changed = True
+            if alive_count <= min_kept:
+                break
+            groups: dict[tuple, list[int]] = {}
+            for v in range(n):
+                if not alive[v] or union_degree(v) > max_degree:
+                    continue
+                groups.setdefault((0,) + twin_key(v, False), []).append(v)
+                groups.setdefault((1,) + twin_key(v, True), []).append(v)
+            for key, members in groups.items():
+                if len(members) < 2:
+                    continue
+                closed = key[0] == 1
+                live = [v for v in members if alive[v]]
+                if len(live) < 2:
+                    continue
+                rep = live[0]
+                for v in live[1:]:
+                    if alive_count <= min_kept:
+                        break
+                    # Earlier eliminations may have changed either side;
+                    # re-validate the twin relation at elimination time.
+                    if not (alive[v] and alive[rep]):
+                        continue
+                    if union_degree(v) > max_degree:
+                        continue
+                    if twin_key(v, closed) != twin_key(rep, closed):
+                        continue
+                    eliminate(v, TWIN)
+                    changed = True
+
+        trail = ReductionTrail(
+            n=n,
+            directed=directed,
+            kinds=np.asarray(kinds, dtype=np.int64),
+            verts=np.asarray(verts, dtype=np.int64),
+            out_nbrs=out_lists,
+            in_nbrs=in_lists,
+            kept=np.flatnonzero(alive).astype(np.int64),
+        )
+    if tracer.enabled and trail.n_events:
+        tracer.metric_inc("ordering.reduce.eliminated", trail.n_events)
+        tracer.metric_inc("ordering.reduce.kept", trail.n_reduced)
+        for name, count in trail.kind_counts().items():
+            tracer.metric_inc(f"ordering.reduce.{name}", count)
+    return trail
+
+
+def reduce_graph(
+    graph: Graph | DiGraph, **options: Any
+) -> tuple[ReductionTrail, AppliedReduction]:
+    """Convenience: build a trail for ``graph`` and apply it in one step."""
+    trail = build_trail(graph, **options)
+    return trail, trail.apply(graph)

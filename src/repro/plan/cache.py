@@ -48,6 +48,7 @@ class PlanCache:
         self.disk_hits = 0
         self.evictions = 0
         self.invalidations = 0
+        self.stale_evictions = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -79,7 +80,16 @@ class PlanCache:
             return plan
         path = self._path_for(key)
         if path is not None and os.path.exists(path):
-            plan = Plan.load(path)
+            try:
+                plan = Plan.load(path)
+            except ValueError:
+                # Unreadable or newer-format file under this key: treat
+                # it as a miss and evict it, so the fresh analyze below
+                # can overwrite it instead of shadowing the slot forever.
+                os.remove(path)
+                self.stale_evictions += 1
+                get_tracer().metric_inc("plan_cache.stale_evictions")
+                return None
             self._store(key, plan)
             self.disk_hits += 1
             get_tracer().metric_inc("plan_cache.disk_hits")
@@ -149,5 +159,6 @@ class PlanCache:
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "stale_evictions": self.stale_evictions,
             "directory": self.directory,
         }

@@ -29,6 +29,7 @@ PLAN_PARAM_DEFAULTS: dict[str, Any] = {
     "max_snode": 64,
     "small_snode": 8,
     "seed": 0,
+    "reduce": False,
 }
 
 

@@ -28,9 +28,11 @@ import numpy as np
 from repro.graphs.digraph import DiGraph
 from repro.graphs.graph import Graph
 from repro.obs import get_tracer
+from repro.ordering.amd import amd_ordering
 from repro.ordering.base import Ordering
 from repro.ordering.bfs import bfs_ordering
 from repro.ordering.nested_dissection import NDResult, nested_dissection
+from repro.ordering.reduce import ReductionTrail, build_trail
 from repro.plan.keys import (
     PLAN_PARAM_DEFAULTS,
     plan_id as _plan_id,
@@ -41,8 +43,10 @@ from repro.symbolic.fill import symbolic_cholesky
 from repro.symbolic.structure import SupernodalStructure, build_structure
 from repro.util.timing import TimingBreakdown
 
-#: On-disk format version of :meth:`Plan.save`.
-PLAN_FORMAT_VERSION = 1
+#: On-disk format version of :meth:`Plan.save`.  v2 adds the reduction
+#: trail, the original vertex count, and the ordering score report; v1
+#: files still load (with ``trail=None``).
+PLAN_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -108,6 +112,16 @@ class Plan:
     nd:
         Separator tree when nested dissection produced the ordering
         (diagnostic only; not serialized).
+    trail:
+        Weight-independent :class:`~repro.ordering.reduce.ReductionTrail`
+        when the plan was analyzed with ``reduce=True`` and at least one
+        rule fired.  When present, ``ordering``/``structure``/``pattern``
+        describe the *reduced* graph; solvers replay the trail on the
+        solve-time weights and unreduce the result back to all ``n``
+        original vertices.
+    score_report:
+        JSON-able record of the ``ordering="auto"`` candidate scoring
+        (fill, modeled solve ops/seconds per candidate, and the pick).
     """
 
     key: str
@@ -119,11 +133,18 @@ class Plan:
     snode_rows: list[np.ndarray] = field(default_factory=list)
     nd: NDResult | None = None
     timings: TimingBreakdown = field(default_factory=TimingBreakdown)
+    trail: ReductionTrail | None = None
+    score_report: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
-        """Number of vertices / matrix columns."""
+        """Number of *original* vertices (before any reduction)."""
+        return self.trail.n if self.trail is not None else self.structure.n
+
+    @property
+    def n_reduced(self) -> int:
+        """Vertices the numeric sweep actually eliminates (``≤ n``)."""
         return self.structure.n
 
     @property
@@ -143,6 +164,10 @@ class Plan:
         out["directed"] = self.directed
         if self.nd is not None:
             out["top_separator"] = self.nd.top_separator_size
+        if self.trail is not None:
+            out["reduction"] = self.trail.stats()
+        if self.score_report is not None:
+            out["ordering_score"] = self.score_report
         return out
 
     # ------------------------------------------------------------------
@@ -189,6 +214,7 @@ class Plan:
             "key": self.key,
             "plan_id": self.plan_id,
             "n": self.n,
+            "n_reduced": self.n_reduced,
             "directed": self.directed,
             "ordering_method": self.ordering.method,
             "params": {
@@ -197,23 +223,30 @@ class Plan:
             "nnz_factor": int(st.nnz_factor),
             "fill_in": int(st.fill_in),
         }
+        if self.score_report is not None:
+            header["score_report"] = self.score_report
+        arrays = {
+            "perm": self.ordering.perm,
+            "snode_ptr": st.snode_ptr,
+            "snode_of": st.snode_of,
+            "parent": st.parent,
+            "levels": st.levels,
+            "fill_concat": fill_concat,
+            "fill_ptr": fill_ptr,
+            "rows_concat": rows_concat,
+            "rows_ptr": rows_ptr,
+            "pattern_indptr": self.pattern.indptr,
+            "pattern_indices": self.pattern.indices,
+        }
+        if self.trail is not None:
+            arrays.update(self.trail.to_arrays())
         with open(path, "wb") as fh:
             np.savez(
                 fh,
                 header=np.frombuffer(
                     json.dumps(header).encode(), dtype=np.uint8
                 ),
-                perm=self.ordering.perm,
-                snode_ptr=st.snode_ptr,
-                snode_of=st.snode_of,
-                parent=st.parent,
-                levels=st.levels,
-                fill_concat=fill_concat,
-                fill_ptr=fill_ptr,
-                rows_concat=rows_concat,
-                rows_ptr=rows_ptr,
-                pattern_indptr=self.pattern.indptr,
-                pattern_indices=self.pattern.indices,
+                **arrays,
             )
 
     @classmethod
@@ -253,6 +286,13 @@ class Plan:
                 data["pattern_indices"],
                 np.ones(data["pattern_indices"].shape[0]),
             )
+            trail = None
+            if "trail_verts" in data.files:
+                trail = ReductionTrail.from_arrays(
+                    data,
+                    n=int(header["n"]),
+                    directed=bool(header["directed"]),
+                )
             return cls(
                 key=header["key"],
                 ordering=Ordering(
@@ -263,6 +303,8 @@ class Plan:
                 params=dict(header.get("params", {})),
                 directed=bool(header["directed"]),
                 snode_rows=_unpack_ragged(data["rows_concat"], data["rows_ptr"]),
+                trail=trail,
+                score_report=header.get("score_report"),
             )
 
 
@@ -310,6 +352,78 @@ def _unit_pattern(graph: Graph | DiGraph) -> Graph:
     )
 
 
+def _symbolic_bundle(
+    pattern: Graph,
+    perm: np.ndarray,
+    *,
+    relax: bool,
+    max_snode: int,
+    small_snode: int,
+) -> tuple[SupernodalStructure, list[np.ndarray]]:
+    """Symbolic analysis for one candidate ordering.
+
+    Returns the supernodal structure plus the per-supernode vertex-level
+    fill rows (union over member columns, restricted above the supernode
+    — the multifrontal frontal index sets), derived while the symbolic
+    factor is in hand so no backend ever recomputes them.
+    """
+    sym = symbolic_cholesky(pattern, perm)
+    structure = build_structure(
+        sym, relax=relax, max_snode=max_snode, small_snode=small_snode
+    )
+    snode_rows: list[np.ndarray] = []
+    for s in range(structure.ns):
+        lo, hi = structure.col_range(s)
+        cols = [sym.col_struct[j] for j in range(lo, hi)]
+        if cols:
+            rows = np.unique(np.concatenate(cols))
+            rows = rows[rows >= hi]
+        else:
+            rows = np.empty(0, dtype=np.int64)
+        snode_rows.append(rows)
+    return structure, snode_rows
+
+
+def _modeled_cost(
+    structure: SupernodalStructure, snode_rows: list[np.ndarray]
+) -> dict[str, Any]:
+    """Score one candidate ordering from its symbolic structure alone.
+
+    Applies the router's supernodal work law — ``2c³ + 4c²r + 2cr²``
+    semiring ops for a supernode of width ``c`` with ``r`` fill rows —
+    plus its per-supernode dispatch overhead, converted to seconds with
+    the same default rate the cost-model router starts from, so
+    ``ordering="auto"`` picks the candidate the router would predict to
+    solve fastest.
+    """
+    from repro.plan.router import (
+        DEFAULT_OPS_PER_SECOND,
+        SNODE_OVERHEAD_SECONDS,
+    )
+
+    widths = np.array(
+        [structure.snode_size(s) for s in range(structure.ns)],
+        dtype=np.float64,
+    )
+    rows = np.array([r.shape[0] for r in snode_rows], dtype=np.float64)
+    ops = float(
+        np.sum(
+            2.0 * widths**3 + 4.0 * widths**2 * rows + 2.0 * widths * rows**2
+        )
+    )
+    fronts = widths + rows
+    return {
+        "fill_in": int(structure.fill_in),
+        "nnz_factor": int(structure.nnz_factor),
+        "supernodes": int(structure.ns),
+        "max_snode": int(widths.max()) if widths.size else 0,
+        "max_front": int(fronts.max()) if fronts.size else 0,
+        "modeled_ops": ops,
+        "modeled_seconds": ops / DEFAULT_OPS_PER_SECOND
+        + structure.ns * SNODE_OVERHEAD_SECONDS,
+    }
+
+
 def analyze(
     graph: Graph | DiGraph,
     *,
@@ -319,6 +433,7 @@ def analyze(
     max_snode: int = 64,
     small_snode: int = 8,
     seed: int = 0,
+    reduce: bool = False,
 ) -> Plan:
     """Run the weight-independent analyze phase: ordering + symbolics.
 
@@ -331,8 +446,11 @@ def analyze(
         LU-with-symmetric-pattern idiom), which is stored on the plan
         and reused by every subsequent directed solve.
     ordering:
-        ``"nd"`` (nested dissection — SuperFW proper), ``"bfs"`` (the
-        SuperBFS baseline), ``"natural"`` (identity), or a prebuilt
+        ``"nd"`` (nested dissection — SuperFW proper), ``"amd"``
+        (approximate minimum degree), ``"auto"`` (score ND and AMD from
+        their symbolic structures, keep the modeled-cheaper one — the
+        report lands in ``Plan.score_report``), ``"bfs"`` (the SuperBFS
+        baseline), ``"natural"`` (identity), or a prebuilt
         :class:`~repro.ordering.base.Ordering` — *any* permutation
         works, since the etree's parents are higher-numbered by
         construction.
@@ -343,6 +461,11 @@ def analyze(
         (see :func:`repro.symbolic.supernodes.relax_supernodes`).
     seed:
         Seeds the ND partitioner.
+    reduce:
+        Run the exact weight-independent reductions of
+        :mod:`repro.ordering.reduce` first, ordering only the reduced
+        graph; the recorded trail is stored on the plan and replayed by
+        every solve.
 
     Returns
     -------
@@ -354,42 +477,93 @@ def analyze(
     directed = isinstance(graph, DiGraph)
     tracer = get_tracer()
     with timings.time("plan-key"), tracer.span("plan-key", n=graph.n):
-        pattern = _unit_pattern(graph)
         key = structure_hash(graph)
+    trail: ReductionTrail | None = None
+    target = graph
+    if reduce:
+        with timings.time("reduce"), tracer.span(
+            "ordering.reduce.analyze", n=graph.n
+        ):
+            trail = build_trail(graph)
+            if trail.n_eliminated == 0:
+                trail = None
+            else:
+                # The reduced *pattern* is weight-independent — every
+                # in×out fill arc is materialized regardless of weight
+                # comparisons — so a unit-weight replay yields exactly
+                # the arc set every solve-time replay will produce.
+                unit = graph.with_weights(np.ones(graph.weights.shape[0]))
+                target = trail.apply(unit).graph
+    pattern = _unit_pattern(target)
+    score_report: dict[str, Any] | None = None
+    candidates: list[tuple[str, Ordering, NDResult | None]] = []
     with timings.time("ordering"), tracer.span(
         "ordering",
         method=ordering if isinstance(ordering, str) else ordering.method,
     ):
         if isinstance(ordering, Ordering):
+            if np.asarray(ordering.perm).shape[0] != pattern.n:
+                raise ValueError(
+                    f"prebuilt ordering permutes "
+                    f"{np.asarray(ordering.perm).shape[0]} vertices but the "
+                    f"analyzed pattern has {pattern.n} (was the plan "
+                    "requested with reduce=True?)"
+                )
             ordr = ordering
         elif ordering == "nd":
             nd = nested_dissection(pattern, leaf_size=leaf_size, seed=seed)
             ordr = nd.ordering
         elif ordering == "bfs":
             ordr = bfs_ordering(pattern)
+        elif ordering == "amd":
+            ordr = amd_ordering(pattern, seed=seed)
         elif ordering == "natural":
-            ordr = Ordering(perm=np.arange(graph.n), method="natural")
+            ordr = Ordering(perm=np.arange(pattern.n), method="natural")
+        elif ordering == "auto":
+            nd_cand = nested_dissection(pattern, leaf_size=leaf_size, seed=seed)
+            candidates = [
+                ("nd", nd_cand.ordering, nd_cand),
+                ("amd", amd_ordering(pattern, seed=seed), None),
+            ]
+            ordr = nd_cand.ordering  # provisional until scoring below
         else:
             raise ValueError(f"unknown ordering {ordering!r}")
-    with timings.time("symbolic"), tracer.span("symbolic", n=graph.n):
-        sym = symbolic_cholesky(pattern, ordr.perm)
-        structure = build_structure(
-            sym, relax=relax, max_snode=max_snode, small_snode=small_snode
-        )
-        # Vertex-level fill rows per supernode (union over member
-        # columns, restricted above the supernode) — the multifrontal
-        # frontal index sets, derived here while the symbolic factor is
-        # in hand so no backend ever recomputes it.
-        snode_rows: list[np.ndarray] = []
-        for s in range(structure.ns):
-            lo, hi = structure.col_range(s)
-            cols = [sym.col_struct[j] for j in range(lo, hi)]
-            if cols:
-                rows = np.unique(np.concatenate(cols))
-                rows = rows[rows >= hi]
-            else:
-                rows = np.empty(0, dtype=np.int64)
-            snode_rows.append(rows)
+    with timings.time("symbolic"), tracer.span("symbolic", n=pattern.n):
+        if candidates:
+            scored = [
+                (
+                    name,
+                    cand,
+                    cand_nd,
+                    bundle := _symbolic_bundle(
+                        pattern,
+                        cand.perm,
+                        relax=relax,
+                        max_snode=max_snode,
+                        small_snode=small_snode,
+                    ),
+                    _modeled_cost(*bundle),
+                )
+                for name, cand, cand_nd in candidates
+            ]
+            # min() is stable and "nd" is listed first, so ties keep ND.
+            name, ordr, nd, (structure, snode_rows), _cost = min(
+                scored, key=lambda t: t[4]["modeled_seconds"]
+            )
+            score_report = {
+                "picked": name,
+                "candidates": {t[0]: t[4] for t in scored},
+            }
+            if tracer.enabled:
+                tracer.metric_inc(f"ordering.auto.pick.{name}")
+        else:
+            structure, snode_rows = _symbolic_bundle(
+                pattern,
+                ordr.perm,
+                relax=relax,
+                max_snode=max_snode,
+                small_snode=small_snode,
+            )
     params = dict(PLAN_PARAM_DEFAULTS)
     if isinstance(ordering, str):
         params["ordering"] = ordering
@@ -409,6 +583,7 @@ def analyze(
         max_snode=max_snode,
         small_snode=small_snode,
         seed=seed,
+        reduce=bool(reduce),
     )
     return Plan(
         key=key,
@@ -420,6 +595,8 @@ def analyze(
         snode_rows=snode_rows,
         nd=nd,
         timings=timings,
+        trail=trail,
+        score_report=score_report,
     )
 
 

@@ -51,16 +51,16 @@ DEFAULT_CHAIN: tuple[str, ...] = ("superfw", "dijkstra", "blocked-fw", "dense-fw
 _METHOD_OPTIONS: dict[str, frozenset[str]] = {
     "superfw": frozenset(
         {"plan", "exact_panels", "dtype", "ordering", "leaf_size",
-         "relax", "max_snode", "small_snode", "seed", "engine"}
+         "relax", "max_snode", "small_snode", "seed", "engine", "reduce"}
     ),
     "superbfs": frozenset(
         {"plan", "exact_panels", "dtype", "leaf_size", "relax",
-         "max_snode", "small_snode", "seed", "engine"}
+         "max_snode", "small_snode", "seed", "engine", "reduce"}
     ),
     "parallel-superfw": frozenset(
         {"plan", "num_threads", "num_workers", "backend", "etree_parallel",
          "exact_panels", "ordering", "leaf_size", "relax", "max_snode",
-         "small_snode", "seed", "engine"}
+         "small_snode", "seed", "engine", "reduce"}
     ),
     "blocked-fw": frozenset({"plan", "block_size", "engine"}),
     "dense-fw": frozenset({"track_via", "check_negative_cycle"}),

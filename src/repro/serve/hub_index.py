@@ -70,7 +70,11 @@ class HubLabelIndex:
         CSR label storage over original vertex ids: vertex ``v`` owns
         entries ``[ptr[v], ptr[v+1])``; ``hubs`` holds hub *permuted
         positions* (ascending per vertex), ``dto[e] = dist(v → hub)``,
-        ``dfrom[e] = dist(hub → v)``.
+        ``dfrom[e] = dist(hub → v)``.  When the plan carries a reduction
+        trail, positions ``0..n_reduced-1`` name the reduced permuted
+        vertices and position ``n_reduced + r`` names the vertex the
+        trail's ``r``-th event eliminated — the key space still spans
+        exactly ``n`` values and queries take *original* ids throughout.
     comp:
         Connected-component label per vertex (components of the plan's
         symmetrized pattern — weak components for digraphs).  Labels of
@@ -129,9 +133,27 @@ class HubLabelIndex:
             epoch = session.epoch
             plan = session.plan
             st = plan.structure
-            n = st.n
+            trail = plan.trail
+            n = plan.n
+            nr = st.n
             perm = np.asarray(plan.ordering.perm, dtype=np.int64)
             dist = np.asarray(epoch.dist)
+            # ``orig_of[p]`` is the *original* vertex id sitting at reduced
+            # permuted position ``p`` — with no trail the reduced graph is
+            # the original graph and this is just ``perm``.
+            if trail is not None:
+                kept_ids = np.asarray(trail.kept, dtype=np.int64)
+                orig_of = kept_ids[perm]
+            else:
+                orig_of = perm
+            # Hub key space: positions 0..nr-1 are reduced permuted
+            # positions; keys nr+r (one per trail event, in elimination
+            # order) name the eliminated vertices.  nr + n_events == n, so
+            # the query-side key arithmetic (pair * n + hub) is unchanged.
+            hub_orig = np.empty(n, dtype=np.int64)
+            hub_orig[:nr] = orig_of
+            if trail is not None:
+                hub_orig[nr:] = np.asarray(trail.verts, dtype=np.int64)
 
             with tracer.span("hub-index-labels"):
                 # Ancestor-chain vertex positions per supernode, memoized
@@ -154,8 +176,8 @@ class HubLabelIndex:
                 for s in range(ns):
                     lo, hi = int(st.snode_ptr[s]), int(st.snode_ptr[s + 1])
                     ch = chain[s]
-                    orig = perm[ch]
-                    verts = perm[lo:hi]
+                    orig = hub_orig[ch]
+                    verts = orig_of[lo:hi]
                     # Every vertex of the supernode shares the chain, so
                     # two 2D gathers fetch all its labels at once; vertex
                     # at offset t then keeps the suffix from t (its own
@@ -182,6 +204,39 @@ class HubLabelIndex:
                         dto_parts[v] = d_to
                         dfrom_parts[v] = d_from
 
+                if trail is not None:
+                    # Eliminated vertices, in *reverse* elimination order:
+                    # each one's quotient neighbors were still alive when
+                    # it was eliminated, so they are kept (labels built
+                    # above) or eliminated later (labels built earlier in
+                    # this loop).  H(v) = {v's own key} ∪ ⋃ H(neighbor)
+                    # is a valid 2-hop cover: any shortest u–v path
+                    # enters v through a quotient neighbor q with
+                    # d(u,v) = d(u,q) + w_q(q,v), and the hub witnessing
+                    # (u,q) is inherited into H(v) — induction on the
+                    # earlier-eliminated endpoint.  Distances are sliced
+                    # from the exact full matrix, so extras stay harmless.
+                    for r in range(trail.n_events - 1, -1, -1):
+                        v = int(trail.verts[r])
+                        nbrs = np.union1d(
+                            np.asarray(trail.out_nbrs[r], dtype=np.int64),
+                            np.asarray(trail.in_nbrs[r], dtype=np.int64),
+                        )
+                        sets = [np.asarray([nr + r], dtype=np.int64)]
+                        sets.extend(hub_parts[int(q)] for q in nbrs)
+                        hubs_pos = np.unique(np.concatenate(sets))
+                        d_to = dist[v, hub_orig[hubs_pos]]
+                        d_from = dist[hub_orig[hubs_pos], v]
+                        keep = np.isfinite(d_to) | np.isfinite(d_from)
+                        if not keep.all():
+                            hubs_pos = hubs_pos[keep]
+                            d_to = d_to[keep]
+                            d_from = d_from[keep]
+                        counts[v] = hubs_pos.size
+                        hub_parts[v] = hubs_pos
+                        dto_parts[v] = d_to
+                        dfrom_parts[v] = d_from
+
                 ptr = np.zeros(n + 1, dtype=np.int64)
                 np.cumsum(counts, out=ptr[1:])
                 hubs = (np.concatenate(hub_parts) if n
@@ -190,7 +245,19 @@ class HubLabelIndex:
                 dfrom = np.concatenate(dfrom_parts) if n else np.empty(0)
 
             with tracer.span("hub-index-shards"):
-                ncomp, comp = connected_components(plan.pattern)
+                # With a reduction trail the shards must come from the
+                # *original* graph: eliminating a directed source/sink
+                # adds no fill, so the reduced pattern can split a weak
+                # component whose pairs are perfectly reachable.
+                if trail is not None:
+                    src = (
+                        session.graph.symmetrized()
+                        if session.directed
+                        else session.graph
+                    )
+                    ncomp, comp = connected_components(src)
+                else:
+                    ncomp, comp = connected_components(plan.pattern)
 
         build_s = time.perf_counter() - t0
         if tracer.enabled:
